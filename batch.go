@@ -1,0 +1,141 @@
+package nwcq
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch execution. A built index is safe for concurrent reads, so
+// independent queries parallelise perfectly; this file provides the
+// fan-out boilerplate. Results are returned in input order.
+//
+// Note on statistics: the per-result Stats.NodeVisits of concurrent
+// queries are deltas of a shared counter and may bleed into each other;
+// the index-wide IOStats total remains exact. Run queries sequentially
+// (parallelism 1) when per-query I/O accounting matters.
+
+// BatchOptions configures batch execution.
+type BatchOptions struct {
+	// Parallelism is the number of worker goroutines; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+func (o BatchOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NWCBatch answers many NWC queries concurrently. The i-th result
+// corresponds to queries[i]. The first error aborts the batch.
+func (ix *Index) NWCBatch(queries []Query, opt BatchOptions) ([]Result, error) {
+	// IWP rebuilds are not concurrency-safe; settle staleness up front
+	// when any query will take the IWP path.
+	for _, q := range queries {
+		if q.scheme().IWP {
+			if err := ix.ensureIWP(); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	results := make([]Result, len(queries))
+	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
+		res, err := ix.NWC(queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// KNWCBatch answers many kNWC queries concurrently.
+func (ix *Index) KNWCBatch(queries []KQuery, opt BatchOptions) ([][]Group, error) {
+	for _, q := range queries {
+		if q.scheme().IWP {
+			if err := ix.ensureIWP(); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	results := make([][]Group, len(queries))
+	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
+		groups, _, err := ix.KNWC(queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		results[i] = groups
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// forEachIndexed runs fn(0..n-1) over a bounded worker pool, returning
+// the first error encountered (remaining work is skipped, in-flight
+// calls finish).
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

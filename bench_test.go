@@ -1,0 +1,440 @@
+package nwcq
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 5), plus micro-benchmarks of the substrates.
+//
+// The per-figure benchmarks regenerate the figure's rows at a reduced
+// scale (BENCH_SCALE of the paper's cardinality, windows rescaled to
+// preserve objects-per-window; see internal/harness) and report the
+// averaged node-visit metric alongside wall time. Run the full-scale
+// versions with cmd/nwcbench -full.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nwcq/internal/core"
+	"nwcq/internal/datagen"
+	"nwcq/internal/geom"
+	"nwcq/internal/harness"
+	"nwcq/internal/pager"
+	"nwcq/internal/rstar"
+)
+
+// benchOptions scales every figure benchmark: 2% of the paper's
+// cardinality and 3 query points keep the whole suite to minutes.
+func benchOptions() harness.Options {
+	o := harness.DefaultOptions()
+	o.Scale = 0.02
+	o.Queries = 3
+	return o
+}
+
+// reportTable turns a harness table's numeric cells into a benchmark
+// metric (the grand mean of all I/O cells) so regressions are visible.
+func reportTable(b *testing.B, tables ...*harness.Table) {
+	b.Helper()
+	sum, cnt := 0.0, 0
+	for _, t := range tables {
+		for _, row := range t.Rows {
+			for _, cell := range row[1:] {
+				s := cell
+				mult := 1.0
+				if strings.HasSuffix(s, "M") {
+					mult = 1e6
+					s = strings.TrimSuffix(s, "M")
+				}
+				if v, err := strconv.ParseFloat(s, 64); err == nil {
+					sum += v * mult
+					cnt++
+				}
+			}
+		}
+	}
+	if cnt > 0 {
+		b.ReportMetric(sum/float64(cnt), "nodevisits/query")
+	}
+}
+
+// BenchmarkTable2Datasets regenerates Table 2 (dataset generation and
+// summary).
+func BenchmarkTable2Datasets(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig09GridSize regenerates Figure 9: DEP's I/O cost across
+// density-grid cell sizes 25–400 on the three datasets.
+func BenchmarkFig09GridSize(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t)
+	}
+}
+
+// BenchmarkFig10Distribution regenerates Figure 10: all seven schemes
+// across Gaussian standard deviations 2000 → 1000.
+func BenchmarkFig10Distribution(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t)
+	}
+}
+
+// BenchmarkFig11SearchedObjects regenerates Figure 11(a–c): all schemes
+// across n = 8 … 128 per dataset.
+func BenchmarkFig11SearchedObjects(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ts, err := harness.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, ts...)
+	}
+}
+
+// BenchmarkFig12WindowSize regenerates Figure 12(a–c): all schemes
+// across window sizes 8 … 128 per dataset.
+func BenchmarkFig12WindowSize(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ts, err := harness.Fig12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, ts...)
+	}
+}
+
+// BenchmarkFig13K regenerates Figure 13: kNWC+ vs kNWC* across k on the
+// CA-like and NY-like datasets.
+func BenchmarkFig13K(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig13(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t)
+	}
+}
+
+// BenchmarkFig14M regenerates Figure 14: kNWC+ vs kNWC* across m on the
+// CA-like and NY-like datasets.
+func BenchmarkFig14M(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t)
+	}
+}
+
+// BenchmarkStorageOverheads regenerates the Section 5.2 storage table
+// (density-grid bytes, backward/overlapping pointer counts).
+func BenchmarkStorageOverheads(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.StorageOverheads(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkCostModel regenerates the Section 4 analytic-vs-measured
+// comparison.
+func BenchmarkCostModel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ModelComparison(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks: per-query and per-operation costs of the substrates.
+// ---------------------------------------------------------------------
+
+func benchEnv(b *testing.B, pts []geom.Point) *harness.Env {
+	b.Helper()
+	cfg := harness.DefaultConfig()
+	cfg.BulkLoad = true
+	env, err := harness.Build("bench", pts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkNWCQuery measures one NWC query per iteration for each
+// scheme on a 10k-point clustered dataset.
+func BenchmarkNWCQuery(b *testing.B) {
+	pts := datagen.NYLikeN(10000, 1)
+	env := benchEnv(b, pts)
+	queries := harness.QueryPoints(64, 5)
+	for _, scheme := range []core.Scheme{core.SchemeNWC, core.SchemeNWCPlus, core.SchemeNWCStar} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			env.Tree.ResetVisits()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				_, _, err := env.Engine.NWC(core.Query{Q: q, L: 60, W: 60, N: 8}, scheme, core.MeasureMax)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(env.Tree.Visits())/float64(b.N), "nodevisits/op")
+		})
+	}
+}
+
+// BenchmarkKNWCQuery measures one kNWC query per iteration.
+func BenchmarkKNWCQuery(b *testing.B) {
+	pts := datagen.NYLikeN(10000, 2)
+	env := benchEnv(b, pts)
+	queries := harness.QueryPoints(64, 6)
+	for _, k := range []int{2, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				_, _, err := env.Engine.KNWC(core.KNWCQuery{
+					Query: core.Query{Q: q, L: 60, W: 60, N: 8}, K: k, M: 2,
+				}, core.SchemeNWCStar, core.MeasureMax)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRStarInsert measures one-by-one R* insertion.
+func BenchmarkRStarInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tree, err := rstar.New(rstar.NewMemStore(), rstar.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000, ID: uint64(i)}
+		if err := tree.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRStarBulkLoad measures STR packing of 100k points.
+func BenchmarkRStarBulkLoad(b *testing.B) {
+	pts := datagen.Uniform(100000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := rstar.New(rstar.NewMemStore(), rstar.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tree.BulkLoad(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRStarWindowQuery measures a window query returning ~25
+// points from a 100k-point tree.
+func BenchmarkRStarWindowQuery(b *testing.B) {
+	pts := datagen.Uniform(100000, 4)
+	env := benchEnv(b, pts)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*9800, rng.Float64()*9800
+		var n int
+		err := env.Tree.Search(geom.NewRect(x, y, x+158, y+158), func(geom.Point) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRStarNearestK measures a 10-NN query on a 100k-point tree.
+func BenchmarkRStarNearestK(b *testing.B) {
+	pts := datagen.Uniform(100000, 6)
+	env := benchEnv(b, pts)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		if _, err := env.Tree.NearestK(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIWPWindowQuery contrasts IWP and traditional window queries
+// for the search-region-shaped rectangles the NWC algorithm issues.
+func BenchmarkIWPWindowQuery(b *testing.B) {
+	pts := datagen.NYLikeN(20000, 8)
+	env := benchEnv(b, pts)
+	q := geom.Point{X: 5000, Y: 5000}
+	it := env.Tree.NewNNIterator(q)
+	type anchor struct {
+		p    geom.Point
+		leaf rstar.NodeID
+	}
+	var anchors []anchor
+	for len(anchors) < 256 {
+		p, leaf, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		anchors = append(anchors, anchor{p, leaf})
+	}
+	b.Run("traditional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := anchors[i%len(anchors)]
+			sr := geom.SearchRegion(q, a.p, 60, 60)
+			if _, err := env.Tree.SearchCollect(sr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iwp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := anchors[i%len(anchors)]
+			sr := geom.SearchRegion(q, a.p, 60, 60)
+			if _, err := env.IWP.WindowCollect(a.leaf, sr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPagerReadWrite measures raw page I/O through the pager with
+// its buffer pool disabled.
+func BenchmarkPagerReadWrite(b *testing.B) {
+	store, err := pager.Create(pager.NewMemFile(), pager.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ids []pager.PageID
+	payload := make([]byte, pager.PayloadSize())
+	for i := 0; i < 1024; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	b.Run("write", func(b *testing.B) {
+		b.SetBytes(pager.PageSize)
+		for i := 0; i < b.N; i++ {
+			if err := store.Write(ids[i%len(ids)], payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(pager.PageSize)
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Read(ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPagedVsMemQuery compares the same NWC query on the resident
+// and disk-paged forms of the index through the public API.
+func BenchmarkPagedVsMemQuery(b *testing.B) {
+	raw := datagen.CALikeN(10000, 9)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	q := Query{X: 5000, Y: 5000, Length: 80, Width: 80, N: 8}
+	b.Run("mem", func(b *testing.B) {
+		idx, err := Build(pts, WithBulkLoad())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.NWC(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("paged", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.nwcq")
+		idx, err := BuildPaged(pts, path, WithBulkLoad())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer idx.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.NWC(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation regenerates the design-choice ablation tables
+// (build method, fan-out, IWP pointer spacing).
+func BenchmarkAblation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ts, err := harness.Ablation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, ts...)
+	}
+}
+
+// BenchmarkKNWCByN regenerates the extension experiment: the effect of
+// the group size n on kNWC cost.
+func BenchmarkKNWCByN(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.FigKNWCByN(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t)
+	}
+}

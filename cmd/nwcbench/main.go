@@ -1,0 +1,147 @@
+// Command nwcbench regenerates the tables and figures of "Nearest
+// Window Cluster Queries" (EDBT 2016).
+//
+//	nwcbench -exp all                  # quick pass over every experiment
+//	nwcbench -exp fig11 -full          # figure 11 at the paper's scale
+//	nwcbench -exp fig9 -scale 0.1      # custom scale
+//
+// Each experiment prints the rows behind one figure: the average number
+// of R*-tree nodes visited per query (the paper's I/O metric) for every
+// scheme/parameter combination.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nwcq/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table2, table3, fig9, fig10, fig11, fig12, fig13, fig14, storage, model, ablation, knwcn")
+		full    = flag.Bool("full", false, "run at the paper's full cardinality (slow; implies -scale 1 -queries 25)")
+		scale   = flag.Float64("scale", 0, "dataset cardinality multiplier (default: quick 0.04, or 1 with -full)")
+		queries = flag.Int("queries", 0, "query points per configuration (default: quick 5, or 25 with -full)")
+		seed    = flag.Int64("seed", 2016, "random seed for datasets and query points")
+		insert  = flag.Bool("insert", false, "build trees by one-by-one R* insertion instead of STR bulk loading")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := harness.QuickOptions()
+	if *full {
+		opts = harness.DefaultOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+	opts.Seed = *seed
+	opts.Config.BulkLoad = !*insert
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), fmt.Sprintf(format, args...))
+		}
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"table2", "table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "storage", "model"}
+	}
+	fmt.Printf("nwcbench: scale=%g queries=%d seed=%d bulk=%v\n\n",
+		opts.Scale, opts.Queries, opts.Seed, opts.Config.BulkLoad)
+	for _, name := range names {
+		if err := run(strings.TrimSpace(name), opts); err != nil {
+			fmt.Fprintf(os.Stderr, "nwcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, opts harness.Options) error {
+	started := time.Now()
+	var tables []*harness.Table
+	switch name {
+	case "table2":
+		t, err := harness.Table2(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "table3":
+		tables = []*harness.Table{harness.Table3()}
+	case "fig9":
+		t, err := harness.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "fig10":
+		t, err := harness.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "fig11":
+		ts, err := harness.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		tables = ts
+	case "fig12":
+		ts, err := harness.Fig12(opts)
+		if err != nil {
+			return err
+		}
+		tables = ts
+	case "fig13":
+		t, err := harness.Fig13(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "fig14":
+		t, err := harness.Fig14(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "storage":
+		t, err := harness.StorageOverheads(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "model":
+		t, err := harness.ModelComparison(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "knwcn":
+		t, err := harness.FigKNWCByN(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*harness.Table{t}
+	case "ablation":
+		ts, err := harness.Ablation(opts)
+		if err != nil {
+			return err
+		}
+		tables = ts
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("(%s finished in %v)\n\n", name, time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command nwcserve serves NWC queries over HTTP — the location-based
+// service of the paper's motivating scenario.
+//
+//	nwcgen -dataset ca > ca.csv
+//	nwcserve -data ca.csv -addr :8080
+//	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8'
+//	curl 'localhost:8080/knwc?x=5000&y=5000&l=50&w=50&n=8&k=3&m=1'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"nwcq"
+	"nwcq/internal/datagen"
+	"nwcq/internal/server"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
+		addr = flag.String("addr", ":8080", "listen address")
+		bulk = flag.Bool("bulk", true, "bulk-load the index")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "nwcserve: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatalf("nwcserve: %v", err)
+	}
+	raw, err := datagen.LoadCSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("nwcserve: %v", err)
+	}
+	pts := make([]nwcq.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	var opts []nwcq.BuildOption
+	if *bulk {
+		opts = append(opts, nwcq.WithBulkLoad())
+	}
+	started := time.Now()
+	idx, err := nwcq.Build(pts, opts...)
+	if err != nil {
+		log.Fatalf("nwcserve: %v", err)
+	}
+	log.Printf("indexed %d points in %v (tree height %d)", idx.Len(),
+		time.Since(started).Round(time.Millisecond), idx.TreeHeight())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(idx).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving NWC queries on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

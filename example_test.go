@@ -1,0 +1,90 @@
+package nwcq_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nwcq"
+)
+
+// grid40 builds a deterministic 40 × 40 lattice of points, dense enough
+// that every example query finds an answer.
+func grid40() []nwcq.Point {
+	var pts []nwcq.Point
+	id := uint64(0)
+	for x := 0; x < 40; x++ {
+		for y := 0; y < 40; y++ {
+			pts = append(pts, nwcq.Point{X: float64(x) * 25, Y: float64(y) * 25, ID: id})
+			id++
+		}
+	}
+	return pts
+}
+
+// The simplest possible NWC query: the nearest 100 × 100 window holding
+// four objects.
+func ExampleIndex_NWC() {
+	idx, err := nwcq.Build(grid40())
+	if err != nil {
+		panic(err)
+	}
+	res, err := idx.NWC(nwcq.Query{X: 500, Y: 500, Length: 100, Width: 100, N: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, len(res.Objects), res.Dist > 0)
+	// Output: true 4 true
+}
+
+// kNWC returns several disjoint nearby clusters.
+func ExampleIndex_KNWC() {
+	idx, err := nwcq.Build(grid40())
+	if err != nil {
+		panic(err)
+	}
+	groups, _, err := idx.KNWC(nwcq.KQuery{
+		Query: nwcq.Query{X: 500, Y: 500, Length: 100, Width: 100, N: 4},
+		K:     3,
+		M:     0, // groups must be fully disjoint
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(groups))
+	for i := 1; i < len(groups); i++ {
+		if groups[i].Dist < groups[i-1].Dist {
+			fmt.Println("out of order")
+		}
+	}
+	// Output: 3
+}
+
+// Schemes trade optimisation storage for query I/O; every scheme gives
+// the same answer.
+func ExampleScheme() {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]nwcq.Point, 5000)
+	for i := range pts {
+		pts[i] = nwcq.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(i)}
+	}
+	idx, err := nwcq.Build(pts, nwcq.WithBulkLoad())
+	if err != nil {
+		panic(err)
+	}
+	q := nwcq.Query{X: 500, Y: 500, Length: 60, Width: 60, N: 6}
+
+	plain := nwcq.SchemeNWC
+	q.Scheme = &plain
+	slow, err := idx.NWC(q)
+	if err != nil {
+		panic(err)
+	}
+	fast := nwcq.SchemeNWCStar
+	q.Scheme = &fast
+	quick, err := idx.NWC(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(slow.Dist == quick.Dist, quick.Stats.NodeVisits < slow.Stats.NodeVisits)
+	// Output: true true
+}

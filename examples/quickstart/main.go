@@ -1,0 +1,56 @@
+// Quickstart: index a point set and run one NWC query.
+//
+//	go run ./examples/quickstart
+//
+// The program scatters 50,000 points over a 10,000 × 10,000 space,
+// builds the full index (R*-tree + density grid + IWP pointers) and asks
+// for the nearest 100 × 100 window holding 8 points — Definition 1 of
+// the paper with the default maximum-distance measure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nwcq"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	points := make([]nwcq.Point, 50000)
+	for i := range points {
+		points[i] = nwcq.Point{
+			X:  rng.Float64() * 10000,
+			Y:  rng.Float64() * 10000,
+			ID: uint64(i),
+		}
+	}
+
+	idx, err := nwcq.Build(points, nwcq.WithBulkLoad())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d points, R*-tree height %d\n", idx.Len(), idx.TreeHeight())
+
+	res, err := idx.NWC(nwcq.Query{
+		X: 5000, Y: 5000, // where we are
+		Length: 100, Width: 100, // how tightly clustered the answers must be
+		N: 8, // how many objects we want
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		fmt.Println("no 100x100 window holds 8 points")
+		return
+	}
+	fmt.Printf("nearest cluster of 8 within a 100x100 window: farthest object %.1f away\n", res.Dist)
+	fmt.Printf("window [%.0f,%.0f]x[%.0f,%.0f]\n",
+		res.Window.MinX, res.Window.MaxX, res.Window.MinY, res.Window.MaxY)
+	for _, p := range res.Objects {
+		fmt.Printf("  #%d at (%.1f, %.1f)\n", p.ID, p.X, p.Y)
+	}
+	fmt.Printf("cost: %d index-node visits, %d window queries\n",
+		res.Stats.NodeVisits, res.Stats.WindowQueries)
+}

@@ -1,0 +1,106 @@
+// Shopfinder reproduces the paper's motivating scenario (Section 1):
+// Bob is in a foreign city and wants the nearest small area holding n
+// clothes shops so he can stroll between them, compare prices and
+// bargain.
+//
+//	go run ./examples/shopfinder
+//
+// The city has several retail districts (clusters of shops of mixed
+// categories) plus scattered street shops. We index only the clothes
+// shops and compare the four distance measures of Section 2.1 on the
+// same NWC query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nwcq"
+)
+
+type shop struct {
+	nwcq.Point
+	category string
+}
+
+func main() {
+	shops := buildCity(9)
+	var clothes []nwcq.Point
+	for _, s := range shops {
+		if s.category == "clothes" {
+			clothes = append(clothes, s.Point)
+		}
+	}
+	fmt.Printf("city: %d shops, %d of them clothes shops\n", len(shops), len(clothes))
+
+	idx, err := nwcq.Build(clothes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob's hotel, and how far he is willing to stroll inside one area:
+	// a 250 m × 250 m block. He wants 5 clothes shops to compare.
+	const hotelX, hotelY = 4200, 6100
+	base := nwcq.Query{X: hotelX, Y: hotelY, Length: 250, Width: 250, N: 5}
+
+	for _, mc := range []struct {
+		m     nwcq.Measure
+		name  string
+		gloss string
+	}{
+		{nwcq.MaxDistance, "max", "walk that reaches the farthest shop"},
+		{nwcq.MinDistance, "min", "walk to the first shop of the cluster"},
+		{nwcq.AvgDistance, "avg", "average walk over the five shops"},
+		{nwcq.WindowDistance, "window", "walk to the edge of the shopping block"},
+	} {
+		q := base
+		q.Measure = mc.m
+		res, err := idx.NWC(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
+			fmt.Printf("%-6s: no block with 5 clothes shops\n", mc.name)
+			continue
+		}
+		fmt.Printf("%-6s: %.0f m (%s), block [%.0f,%.0f]x[%.0f,%.0f], I/O %d\n",
+			mc.name, res.Dist, mc.gloss,
+			res.Window.MinX, res.Window.MaxX, res.Window.MinY, res.Window.MaxY,
+			res.Stats.NodeVisits)
+		if mc.m == nwcq.MaxDistance {
+			for _, p := range res.Objects {
+				fmt.Printf("        shop #%d at (%.0f, %.0f)\n", p.ID, p.X, p.Y)
+			}
+		}
+	}
+}
+
+// buildCity synthesises a city: retail districts (tight clusters of
+// shops), a few malls, and background street shops.
+func buildCity(seed int64) []shop {
+	rng := rand.New(rand.NewSource(seed))
+	categories := []string{"clothes", "food", "books", "electronics"}
+	var shops []shop
+	id := uint64(0)
+	add := func(x, y float64, cat string) {
+		if x < 0 || x > 10000 || y < 0 || y > 10000 {
+			return
+		}
+		shops = append(shops, shop{Point: nwcq.Point{X: x, Y: y, ID: id}, category: cat})
+		id++
+	}
+	// 12 retail districts.
+	for d := 0; d < 12; d++ {
+		cx, cy := rng.Float64()*9000+500, rng.Float64()*9000+500
+		for i := 0; i < 150+rng.Intn(150); i++ {
+			add(cx+rng.NormFloat64()*120, cy+rng.NormFloat64()*120,
+				categories[rng.Intn(len(categories))])
+		}
+	}
+	// Street shops everywhere.
+	for i := 0; i < 3000; i++ {
+		add(rng.Float64()*10000, rng.Float64()*10000, categories[rng.Intn(len(categories))])
+	}
+	return shops
+}

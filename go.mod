@@ -1,0 +1,3 @@
+module nwcq
+
+go 1.22

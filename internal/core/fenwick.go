@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"slices"
+)
+
+// distStats is an order-statistic structure over the objects currently
+// inside the sliding candidate window: a Fenwick (binary indexed) tree
+// over coordinate-compressed squared distances, tracking per-rank counts
+// and linear-distance sums.
+//
+// evaluateWindows slides a window over the y-sorted candidates of one
+// anchor; each object enters and leaves the window exactly once, and for
+// every candidate window the engine needs the distance of the window's
+// best group — the n-th smallest object distance for MeasureMax, the
+// smallest for MeasureMin, the mean of the n smallest for MeasureAvg.
+// Computing those from scratch costs O(s) per window (O(s²) per anchor);
+// the Fenwick tree answers them in O(log s), so whole-window evaluation
+// drops to O(s log s) per anchor. Groups are only materialised for
+// windows whose exact distance beats the current pruning bound.
+type distStats struct {
+	d2s   []float64 // sorted unique squared distances; rank i ↔ d2s[i]
+	dist  []float64 // linear distance per rank
+	cnt   []int     // Fenwick tree of counts (1-based)
+	sum   []float64 // Fenwick tree of linear-distance sums (1-based)
+	total int
+}
+
+// newDistStats prepares ranks for the given squared distances (one per
+// candidate object; duplicates welcome). The structure starts empty.
+func newDistStats(allD2 []float64) *distStats {
+	d2s := make([]float64, len(allD2))
+	copy(d2s, allD2)
+	slices.Sort(d2s)
+	d2s = slices.Compact(d2s)
+	ds := &distStats{
+		d2s:  d2s,
+		dist: make([]float64, len(d2s)),
+		cnt:  make([]int, len(d2s)+1),
+		sum:  make([]float64, len(d2s)+1),
+	}
+	for i, v := range d2s {
+		ds.dist[i] = math.Sqrt(v)
+	}
+	return ds
+}
+
+// rankOf returns the 0-based rank of a squared distance that is
+// guaranteed to be present in the compressed domain.
+func (ds *distStats) rankOf(d2 float64) int {
+	lo, hi := 0, len(ds.d2s)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ds.d2s[mid] < d2 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (ds *distStats) add(rank int) {
+	d := ds.dist[rank]
+	for i := rank + 1; i <= len(ds.d2s); i += i & (-i) {
+		ds.cnt[i]++
+		ds.sum[i] += d
+	}
+	ds.total++
+}
+
+func (ds *distStats) remove(rank int) {
+	d := ds.dist[rank]
+	for i := rank + 1; i <= len(ds.d2s); i += i & (-i) {
+		ds.cnt[i]--
+		ds.sum[i] -= d
+	}
+	ds.total--
+}
+
+// kthD2 returns the k-th smallest (1-based) squared distance currently
+// in the window. The caller guarantees 1 ≤ k ≤ total.
+func (ds *distStats) kthD2(k int) float64 {
+	pos := 0
+	remain := k
+	// Highest power of two within the tree size.
+	step := 1
+	for step*2 <= len(ds.d2s) {
+		step *= 2
+	}
+	for ; step > 0; step /= 2 {
+		next := pos + step
+		if next <= len(ds.d2s) && ds.cnt[next] < remain {
+			remain -= ds.cnt[next]
+			pos = next
+		}
+	}
+	return ds.d2s[pos]
+}
+
+// sumSmallest returns the sum of the k smallest linear distances in the
+// window. The caller guarantees 1 ≤ k ≤ total.
+func (ds *distStats) sumSmallest(k int) float64 {
+	pos := 0
+	remain := k
+	total := 0.0
+	step := 1
+	for step*2 <= len(ds.d2s) {
+		step *= 2
+	}
+	for ; step > 0; step /= 2 {
+		next := pos + step
+		if next <= len(ds.d2s) && ds.cnt[next] < remain {
+			remain -= ds.cnt[next]
+			total += ds.sum[next]
+			pos = next
+		}
+	}
+	// pos now indexes the rank holding the remaining elements (all of
+	// equal distance).
+	if remain > 0 {
+		total += float64(remain) * ds.dist[pos]
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"nwcq/internal/geom"
+)
+
+// groupDist computes the distance between q and objs (which must already
+// be the n objects chosen from a window win) under measure m. For
+// MeasureWindow the value is MINDIST(q, win): the engine keeps the
+// minimum over every qualified window it sees containing a better group,
+// which realises Equation (4)'s minimum over all qualified windows.
+func groupDist(q geom.Point, objs []geom.Point, win geom.Rect, m Measure) float64 {
+	switch m {
+	case MeasureMin:
+		best := math.Inf(1)
+		for _, p := range objs {
+			if d := q.Dist(p); d < best {
+				best = d
+			}
+		}
+		return best
+	case MeasureAvg:
+		sum := 0.0
+		for _, p := range objs {
+			sum += q.Dist(p)
+		}
+		return sum / float64(len(objs))
+	case MeasureWindow:
+		return win.MinDist(q)
+	default: // MeasureMax
+		worst := 0.0
+		for _, p := range objs {
+			if d := q.Dist(p); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+}
+
+// distOrder is the deterministic object ordering used to pick the n
+// closest objects of a window: by squared distance, then coordinates,
+// then ID, so every scheme returns identical groups regardless of
+// discovery order.
+type distPoint struct {
+	d2 float64
+	p  geom.Point
+}
+
+func distLess(a, b distPoint) bool {
+	if a.d2 != b.d2 {
+		return a.d2 < b.d2
+	}
+	if a.p.X != b.p.X {
+		return a.p.X < b.p.X
+	}
+	if a.p.Y != b.p.Y {
+		return a.p.Y < b.p.Y
+	}
+	return a.p.ID < b.p.ID
+}
+
+// nClosest returns the n objects of pts closest to q in ascending
+// distance order (all of them if n ≥ len(pts)), breaking distance ties
+// deterministically. pts is not modified. The selection runs in
+// O(len(pts) + n log n) expected time via quickselect — this sits on the
+// hot path of window evaluation.
+func nClosest(q geom.Point, pts []geom.Point, n int) []geom.Point {
+	if n > len(pts) {
+		n = len(pts)
+	}
+	scratch := make([]distPoint, len(pts))
+	for i, p := range pts {
+		scratch[i] = distPoint{d2: p.Dist2(q), p: p}
+	}
+	quickselect(scratch, n)
+	top := scratch[:n]
+	slices.SortFunc(top, func(a, b distPoint) int {
+		if distLess(a, b) {
+			return -1
+		}
+		if distLess(b, a) {
+			return 1
+		}
+		return 0
+	})
+	out := make([]geom.Point, n)
+	for i, dp := range top {
+		out[i] = dp.p
+	}
+	return out
+}
+
+// quickselect partitions s so that the k smallest elements under
+// distLess occupy s[:k] (unordered). Median-of-three pivoting keeps the
+// expected cost linear and behaves well on the nearly-sorted inputs the
+// engine produces.
+func quickselect(s []distPoint, k int) {
+	lo, hi := 0, len(s)
+	for hi-lo > 1 && k > lo && k < hi {
+		p := medianOfThree(s, lo, hi)
+		i, j := lo, hi-1
+		for i <= j {
+			for distLess(s[i], p) {
+				i++
+			}
+			for distLess(p, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		// s[lo..j] ≤ pivot ≤ s[i..hi).
+		switch {
+		case k <= j+1:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return // k lands in the pivot band; done
+		}
+	}
+}
+
+func medianOfThree(s []distPoint, lo, hi int) distPoint {
+	a, b, c := s[lo], s[(lo+hi)/2], s[hi-1]
+	if distLess(b, a) {
+		a, b = b, a
+	}
+	if distLess(c, b) {
+		b = c
+		if distLess(b, a) {
+			b = a
+		}
+	}
+	return b
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"nwcq/internal/geom"
+	"nwcq/internal/rstar"
+)
+
+// Result is the answer to an NWC query.
+type Result struct {
+	Group
+	// Found is false when no qualified window exists (for example when
+	// n exceeds the number of objects any l × w window can hold).
+	Found bool
+}
+
+// NWC answers query qy with the given scheme and measure. It implements
+// Algorithm 1: a best-first traversal of the R*-tree visits objects in
+// ascending distance from q; each object generates its search region and
+// a window query; every candidate window found is checked against the
+// best group so far; optimisations prune nodes, objects and window
+// queries as enabled by the scheme.
+func (e *Engine) NWC(qy Query, scheme Scheme, measure Measure) (Result, Stats, error) {
+	if err := qy.Validate(); err != nil {
+		return Result{}, Stats{}, err
+	}
+	if !measure.Valid() {
+		return Result{}, Stats{}, errInvalidMeasure
+	}
+	if err := e.checkScheme(scheme); err != nil {
+		return Result{}, Stats{}, err
+	}
+	best := Group{Dist: math.Inf(1)}
+	found := false
+	stats, err := e.search(qy, scheme,
+		func() float64 { return best.Dist },
+		func(g Group) {
+			if g.Dist < best.Dist {
+				best = g
+				found = true
+			}
+		},
+		measure)
+	if err != nil {
+		return Result{}, stats, err
+	}
+	if !found {
+		return Result{Found: false}, stats, nil
+	}
+	return Result{Group: best, Found: true}, stats, nil
+}
+
+// pqItem is an element of the best-first priority queue: an index node
+// (with the MBR recorded by its parent, so pruning needs no extra I/O)
+// or a data object together with the leaf that stores it (the hook IWP
+// needs).
+type pqItem struct {
+	dist2  float64
+	isNode bool
+	id     rstar.NodeID // node id, or the containing leaf for objects
+	mbr    geom.Rect    // node items only
+	point  geom.Point   // object items only
+}
+
+// pqueue is a typed binary min-heap on dist2, avoiding the boxing of
+// container/heap in this hot path.
+type pqueue []pqItem
+
+func (pq *pqueue) push(it pqItem) {
+	*pq = append(*pq, it)
+	i := len(*pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*pq)[parent].dist2 <= (*pq)[i].dist2 {
+			break
+		}
+		(*pq)[parent], (*pq)[i] = (*pq)[i], (*pq)[parent]
+		i = parent
+	}
+}
+
+func (pq *pqueue) pop() pqItem {
+	h := *pq
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*pq = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].dist2 < h[smallest].dist2 {
+			smallest = l
+		}
+		if r < len(h) && h[r].dist2 < h[smallest].dist2 {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// search drives the shared NWC/kNWC traversal. bound returns the current
+// pruning distance (the distance of the best group for NWC, of the k-th
+// group for kNWC, +Inf while unset); emit receives every candidate group
+// that passes the window-level MINDIST check, in discovery order.
+func (e *Engine) search(qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure) (Stats, error) {
+	var st Stats
+	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
+	startVisits := e.tree.Visits()
+
+	var pq pqueue
+	rootMBR, err := e.tree.MBR()
+	if err != nil {
+		return st, err
+	}
+	pq.push(pqItem{dist2: rootMBR.MinDist2(q), isNode: true, id: e.tree.Root(), mbr: rootMBR})
+
+	// Window-query result buffer, reused across objects.
+	var buf []geom.Point
+
+	for len(pq) > 0 {
+		it := pq.pop()
+		if it.isNode {
+			b := bound()
+			// DIP (Section 3.3.2): prune the node when no object inside
+			// its MBR can generate a window closer than the bound. The
+			// MBR came from the parent, so pruning costs no node visit.
+			if scheme.DIP && !math.IsInf(b, 1) &&
+				geom.NodeWindowLowerBound2(q, it.mbr, l, w) >= b*b {
+				st.NodesPruned++
+				continue
+			}
+			// DEP node pruning (Section 3.3.3): extend the MBR to cover
+			// every window its objects can generate; if the density grid
+			// bounds the extended region's population below n, no object
+			// inside can generate a qualified window.
+			if scheme.DEP && e.density.PrunesRect(geom.ExtendMBR(q, it.mbr, l, w), n) {
+				st.NodesPruned++
+				continue
+			}
+			node, err := e.tree.Node(it.id)
+			if err != nil {
+				return st, err
+			}
+			if node.Leaf {
+				for _, p := range node.Points {
+					pq.push(pqItem{dist2: p.Dist2(q), id: node.ID, point: p})
+				}
+				continue
+			}
+			for i, r := range node.Rects {
+				pq.push(pqItem{dist2: r.MinDist2(q), isNode: true, id: node.Children[i], mbr: r})
+			}
+			continue
+		}
+
+		// Object item: generate and evaluate its candidate windows.
+		st.ObjectsProcessed++
+		p := it.point
+		var sr geom.Rect
+		if scheme.SRR {
+			// SRR (Section 3.3.1): skip the object when every window it
+			// generates is at least bound away; otherwise shrink SR_p.
+			sr = geom.ShrinkSearchRegion(q, p, l, w, bound())
+			if sr.IsEmpty() {
+				st.ObjectsSkipped++
+				continue
+			}
+		} else {
+			sr = geom.SearchRegion(q, p, l, w)
+		}
+		// DEP window-query cancellation: a search region that cannot
+		// hold n objects generates no qualified window.
+		if scheme.DEP && e.density.PrunesRect(sr, n) {
+			st.ObjectsSkipped++
+			continue
+		}
+		st.WindowQueries++
+		buf = buf[:0]
+		collect := func(cp geom.Point) bool {
+			buf = append(buf, cp)
+			return true
+		}
+		if scheme.IWP {
+			err = e.iwpIdx.WindowQuery(it.id, sr, collect)
+		} else {
+			err = e.tree.Search(sr, collect)
+		}
+		if err != nil {
+			return st, err
+		}
+		e.evaluateWindows(qy, p, buf, measure, bound, emit, &st)
+	}
+	st.NodeVisits = e.tree.Visits() - startVisits
+	return st, nil
+}
+
+// evaluateWindows enumerates the candidate windows generated by anchor
+// object p from the candidates returned by its window query, following
+// Section 3.2: p sits on the quadrant-appropriate vertical edge and each
+// candidate object on the appropriate horizontal edge. A sliding
+// two-pointer over the y-sorted candidates counts each window's
+// population in amortised constant time.
+func (e *Engine) evaluateWindows(qy Query, p geom.Point, cands []geom.Point, measure Measure, bound func() float64, emit func(Group), st *Stats) {
+	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
+	// Every candidate window generated by p shares its x-interval; only
+	// objects inside it can be window contents or horizontal anchors.
+	var xlo, xhi float64
+	if geom.OnRightEdge(q, p) {
+		xlo, xhi = p.X-l, p.X
+	} else {
+		xlo, xhi = p.X, p.X+l
+	}
+	s := cands[:0] // filter in place; cands is the caller's scratch buffer
+	for _, c := range cands {
+		if c.X >= xlo && c.X <= xhi {
+			s = append(s, c)
+		}
+	}
+	if len(s) < n {
+		return
+	}
+	top := geom.AnchorsTopEdge(q, p)
+	if top {
+		slices.SortFunc(s, func(a, b geom.Point) int {
+			switch {
+			case a.Y < b.Y:
+				return -1
+			case a.Y > b.Y:
+				return 1
+			default:
+				return 0
+			}
+		})
+	} else {
+		slices.SortFunc(s, func(a, b geom.Point) int {
+			switch {
+			case a.Y > b.Y:
+				return -1
+			case a.Y < b.Y:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	// Order-statistic tracking of the sliding window's object distances:
+	// it yields each window's exact group distance in O(log s), so the
+	// group's object list is materialised only when it can actually beat
+	// the bound. MeasureWindow needs no object distances.
+	// For small candidate sets the per-anchor setup outweighs the
+	// per-window savings; evaluate those directly.
+	const fenwickThreshold = 96
+	var fen *distStats
+	var ranks []int
+	if measure != MeasureWindow && len(s) >= fenwickThreshold {
+		d2 := make([]float64, len(s))
+		for i, c := range s {
+			d2[i] = c.Dist2(q)
+		}
+		fen = newDistStats(d2)
+		ranks = make([]int, len(s))
+		for i, v := range d2 {
+			ranks[i] = fen.rankOf(v)
+		}
+	}
+	// gateSlack keeps the O(log s) gate conservative: the gate value and
+	// the authoritative groupDist recomputation may differ by a few ulps
+	// (sqrt-of-sum vs hypot), and a borderline group must never be lost.
+	const gateSlack = 1 + 1e-9
+
+	lo := 0
+	for i, o := range s {
+		if fen != nil {
+			fen.add(ranks[i])
+		}
+		// Horizontal anchors on the wrong side of p generate windows
+		// that would not contain p; skip them (Section 3.2).
+		if top && o.Y < p.Y || !top && o.Y > p.Y {
+			continue
+		}
+		// Partners sharing a y coordinate generate the same window;
+		// evaluate it only at the last duplicate, where the content
+		// prefix s[lo..i] is complete. Evaluating earlier would emit
+		// groups that are not the window's n closest objects.
+		if i+1 < len(s) && s[i+1].Y == o.Y {
+			continue
+		}
+		// Window y-interval: [o.Y-w, o.Y] for top anchors, [o.Y, o.Y+w]
+		// for bottom anchors. Contents are s[lo..i].
+		if top {
+			for s[lo].Y < o.Y-w {
+				if fen != nil {
+					fen.remove(ranks[lo])
+				}
+				lo++
+			}
+		} else {
+			for s[lo].Y > o.Y+w {
+				if fen != nil {
+					fen.remove(ranks[lo])
+				}
+				lo++
+			}
+		}
+		st.CandidateWindows++
+		if i-lo+1 < n {
+			continue
+		}
+		st.QualifiedWindows++
+		win := geom.CandidateWindow(q, p, o, l, w)
+		b := bound()
+		finiteBound := !math.IsInf(b, 1)
+		if finiteBound && win.MinDist2(q) >= b*b {
+			continue
+		}
+		// Exact-distance gate: skip materialising groups that cannot
+		// beat the bound. Emitting a non-improving group would be
+		// harmless (both NWC and kNWC re-check), so the gate errs on
+		// the permissive side.
+		if fen != nil && finiteBound {
+			switch measure {
+			case MeasureMax:
+				if fen.kthD2(n) > b*b*gateSlack {
+					continue
+				}
+			case MeasureMin:
+				if fen.kthD2(1) > b*b*gateSlack {
+					continue
+				}
+			case MeasureAvg:
+				if fen.sumSmallest(n)/float64(n) > b*gateSlack {
+					continue
+				}
+			}
+		}
+		objs := nClosest(q, s[lo:i+1], n)
+		emit(Group{
+			Objects: objs,
+			Dist:    groupDist(q, objs, win, measure),
+			Window:  win,
+		})
+	}
+}

@@ -1,0 +1,289 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultModel() Model {
+	// 250,000 objects in a 10,000² space: the paper's Gaussian-dataset
+	// cardinality at uniform density.
+	return Model{Lambda: 250000.0 / 1e8, SpaceWidth: 10000, FanOut: 50, FillFactor: 0.7}
+}
+
+func TestValidate(t *testing.T) {
+	good := defaultModel()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{Lambda: 0, SpaceWidth: 1, FanOut: 50, FillFactor: 0.7},
+		{Lambda: 1, SpaceWidth: 0, FanOut: 50, FillFactor: 0.7},
+		{Lambda: 1, SpaceWidth: 1, FanOut: 1, FillFactor: 0.7},
+		{Lambda: 1, SpaceWidth: 1, FanOut: 50, FillFactor: 0},
+		{Lambda: 1, SpaceWidth: 1, FanOut: 50, FillFactor: 1.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestPNotQualifiedProperties(t *testing.T) {
+	m := defaultModel()
+	// A probability in [0, 1], decreasing in window size, increasing in n.
+	prev := -1.0
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		p := m.PNotQualified(8, 8, n)
+		if p < 0 || p > 1 {
+			t.Fatalf("P(n=%d) = %g outside [0,1]", n, p)
+		}
+		if p < prev {
+			t.Fatalf("P should not decrease with n: P(n=%d)=%g < %g", n, p, prev)
+		}
+		prev = p
+	}
+	pSmall := m.PNotQualified(4, 4, 8)
+	pBig := m.PNotQualified(64, 64, 8)
+	if pBig > pSmall {
+		t.Errorf("larger windows should qualify more easily: %g > %g", pBig, pSmall)
+	}
+	// Known value: n=1 means P = e^{-λlw}.
+	mean := m.Lambda * 8 * 8
+	if got, want := m.PNotQualified(8, 8, 1), math.Exp(-mean); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(n=1) = %g, want e^-mean = %g", got, want)
+	}
+	// Large-mean stability: no NaN/Inf.
+	if p := m.PNotQualified(1000, 1000, 3); math.IsNaN(p) || p < 0 {
+		t.Errorf("large-mean P = %g", p)
+	}
+}
+
+func TestNRects(t *testing.T) {
+	// Equation (9): 8i − 4; ring areas tile the space consistently —
+	// the cumulative count is (2i)².
+	cum := 0.0
+	for i := 1; i <= 20; i++ {
+		if got, want := NRects(i), float64(8*i-4); got != want {
+			t.Fatalf("N(%d) = %g, want %g", i, got, want)
+		}
+		cum += NRects(i)
+		if want := float64(4 * i * i); cum != want {
+			t.Fatalf("cumulative rings through %d = %g, want %g", i, cum, want)
+		}
+	}
+	if NRects(0) != 0 {
+		t.Error("N(0) should be 0")
+	}
+}
+
+func TestQNoQualifiedMonotone(t *testing.T) {
+	m := defaultModel()
+	// More rings at larger i mean more chances to qualify: Q decreases.
+	prev := 1.1
+	for i := 1; i <= 6; i++ {
+		q := m.QNoQualified(16, 16, 8, i)
+		if q < 0 || q > 1 {
+			t.Fatalf("Q(%d) = %g outside [0,1]", i, q)
+		}
+		if q > prev {
+			t.Fatalf("Q should not increase with i: Q(%d)=%g > %g", i, q, prev)
+		}
+		prev = q
+	}
+	if q := m.QNoQualified(16, 16, 8, 0); q != 1 {
+		t.Errorf("Q(0) = %g, want 1", q)
+	}
+}
+
+func TestObjectsThroughLevel(t *testing.T) {
+	m := defaultModel()
+	// O(i) = 2 i² λ l w: matches N-rect accumulation times per-ring
+	// density (each ring rect holds λ·l·w objects, 4i² rects halved by
+	// the upper-half convention of the derivation).
+	for i := 1; i <= 5; i++ {
+		got := m.ObjectsThroughLevel(8, 8, i)
+		want := 2 * float64(i*i) * m.Lambda * 64
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("O(%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestWindowQueryCostBehaviour(t *testing.T) {
+	m := defaultModel()
+	small := m.WindowQueryCost(8, 8)
+	big := m.WindowQueryCost(512, 512)
+	if small < 1 {
+		t.Errorf("window cost %g below root access", small)
+	}
+	if big <= small {
+		t.Errorf("bigger windows must cost more: %g <= %g", big, small)
+	}
+	full := m.WindowQueryCost(m.SpaceWidth, m.SpaceWidth)
+	if full > m.FullScanCost()+1 {
+		t.Errorf("full-space window %g exceeds full scan %g", full, m.FullScanCost())
+	}
+}
+
+func TestKNNCostBehaviour(t *testing.T) {
+	m := defaultModel()
+	prev := 0.0
+	for _, k := range []float64{1, 10, 100, 1000, 10000} {
+		c := m.KNNCost(k)
+		if c < 1 {
+			t.Fatalf("KNN(%g) = %g below root access", k, c)
+		}
+		if c < prev {
+			t.Fatalf("KNN cost must not decrease with k: KNN(%g)=%g < %g", k, c, prev)
+		}
+		prev = c
+	}
+	if got := m.KNNCost(0); got < 1 {
+		t.Errorf("KNN(0) = %g", got)
+	}
+}
+
+func TestFullScanCost(t *testing.T) {
+	m := defaultModel()
+	// ~250k objects at 35/leaf: ≥ 7142 leaves plus internals.
+	fs := m.FullScanCost()
+	if fs < 7000 || fs > 9000 {
+		t.Errorf("full scan cost %g implausible for 250k objects", fs)
+	}
+}
+
+func TestNWCCostBehaviour(t *testing.T) {
+	m := defaultModel()
+	// Feasible regime: a 64 × 64 window holds λ·l·w ≈ 10 objects on
+	// average, so n = 4 qualifies near the query point and the search
+	// stays far below a full traversal.
+	cEasy, err := m.NWCCost(64, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cEasy <= 0 || math.IsNaN(cEasy) {
+		t.Fatalf("NWCCost = %g", cEasy)
+	}
+	if cEasy > m.FullScanCost()/4 {
+		t.Errorf("easy query cost %g not well below full scan %g", cEasy, m.FullScanCost())
+	}
+	// Within the feasible regime, raising n raises the expected cost.
+	cHarder, err := m.NWCCost(64, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cHarder < cEasy {
+		t.Errorf("n=9 cost %g below n=4 cost %g", cHarder, cEasy)
+	}
+	// An impossible query costs at least the full traversal.
+	cHuge, err := m.NWCCost(8, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cHuge < m.FullScanCost()*0.99 {
+		t.Errorf("impossible query cost %g below full scan %g", cHuge, m.FullScanCost())
+	}
+	if _, err := m.NWCCost(-1, 8, 8); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := m.NWCCost(8, 8, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestNWCCostDensityEffect(t *testing.T) {
+	// For a fixed feasible query, the dense dataset qualifies in the
+	// first rings while the sparse one degenerates toward its own full
+	// scan.
+	dense := Model{Lambda: 25e-4, SpaceWidth: 10000, FanOut: 50, FillFactor: 0.7}
+	sparse := Model{Lambda: 25e-6, SpaceWidth: 10000, FanOut: 50, FillFactor: 0.7}
+	cd, err := dense.NWCCost(64, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sparse.NWCCost(64, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd > dense.FullScanCost()/4 {
+		t.Errorf("dense cost %g not well below full scan %g", cd, dense.FullScanCost())
+	}
+	if cs < sparse.FullScanCost()/2 {
+		t.Errorf("sparse cost %g should approach full scan %g", cs, sparse.FullScanCost())
+	}
+}
+
+func TestKNWCCostBehaviour(t *testing.T) {
+	m := defaultModel()
+	// Feasible regime (λ·l·w ≈ 10 ≥ n = 4): retrieving more groups
+	// costs more, and relaxing the overlap constraint costs less.
+	c1, err := m.KNWCCost(64, 64, 4, KNWCParams{K: 1, M: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := m.KNWCCost(64, 64, 4, KNWCParams{K: 8, M: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8 < c1 {
+		t.Errorf("k=8 cost %g below k=1 cost %g", c8, c1)
+	}
+	cM0, err := m.KNWCCost(64, 64, 4, KNWCParams{K: 4, M: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cM4, err := m.KNWCCost(64, 64, 4, KNWCParams{K: 4, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cM4 > cM0+1e-9 {
+		t.Errorf("m=3 cost %g above m=0 cost %g", cM4, cM0)
+	}
+	if _, err := m.KNWCCost(16, 16, 8, KNWCParams{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := m.KNWCCost(16, 16, 8, KNWCParams{K: 1, M: -1}); err == nil {
+		t.Error("negative m accepted")
+	}
+}
+
+func TestBinomPMFSanity(t *testing.T) {
+	// Sums to ~1 over the support for integer totals.
+	total := 20.0
+	p := 0.3
+	sum := 0.0
+	for i := 0.0; i <= total; i++ {
+		v := binomPMF(total, i, p)
+		if v < 0 || v > 1 {
+			t.Fatalf("pmf(%g) = %g", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %g", sum)
+	}
+	if binomPMF(10, 11, 0.5) != 0 {
+		t.Error("out-of-support pmf nonzero")
+	}
+	if binomPMF(10, 0, 0) != 1 || binomPMF(10, 10, 1) != 1 {
+		t.Error("degenerate pmf wrong")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// Matches exact small binomials.
+	cases := []struct {
+		a, b float64
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20},
+	}
+	for _, c := range cases {
+		got := math.Exp(logChoose(c.a, c.b))
+		if math.Abs(got-c.want) > 1e-9*c.want {
+			t.Errorf("C(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}

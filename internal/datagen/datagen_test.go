@@ -1,0 +1,213 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nwcq/internal/geom"
+)
+
+func inSpace(t *testing.T, pts []geom.Point, label string) {
+	t.Helper()
+	space := Space()
+	for _, p := range pts {
+		if !space.ContainsPoint(p) {
+			t.Fatalf("%s: point %v outside space", label, p)
+		}
+	}
+}
+
+func TestGaussian(t *testing.T) {
+	pts := Gaussian(20000, 5000, 2000, 1)
+	if len(pts) != 20000 {
+		t.Fatalf("cardinality %d", len(pts))
+	}
+	inSpace(t, pts, "gaussian")
+	// Rough moment check.
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	mx, my := sx/float64(len(pts)), sy/float64(len(pts))
+	if mx < 4800 || mx > 5200 || my < 4800 || my > 5200 {
+		t.Errorf("mean (%g, %g), want near (5000, 5000)", mx, my)
+	}
+	// Determinism.
+	again := Gaussian(20000, 5000, 2000, 1)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatal("Gaussian not deterministic for a fixed seed")
+		}
+	}
+	other := Gaussian(20000, 5000, 2000, 2)
+	same := 0
+	for i := range pts {
+		if pts[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(pts) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	pts := Uniform(5000, 3)
+	if len(pts) != 5000 {
+		t.Fatalf("cardinality %d", len(pts))
+	}
+	inSpace(t, pts, "uniform")
+	// Quadrant balance.
+	q1 := 0
+	for _, p := range pts {
+		if p.X > SpaceWidth/2 && p.Y > SpaceWidth/2 {
+			q1++
+		}
+	}
+	if q1 < 1000 || q1 > 1500 {
+		t.Errorf("quadrant-1 count %d, want ~1250", q1)
+	}
+}
+
+func TestPaperCardinalities(t *testing.T) {
+	// Scale the emulations down via the spec to keep the test fast, but
+	// check the published cardinalities of the full constructors once.
+	if testing.Short() {
+		t.Skip("full-cardinality generation in -short mode")
+	}
+	ca := CALike(1)
+	ny := NYLike(1)
+	ga := PaperGaussian(1)
+	if len(ca) != CACardinality {
+		t.Errorf("CA-like cardinality %d, want %d (Table 2)", len(ca), CACardinality)
+	}
+	if len(ny) != NYCardinality {
+		t.Errorf("NY-like cardinality %d, want %d (Table 2)", len(ny), NYCardinality)
+	}
+	if len(ga) != GaussianCardinality {
+		t.Errorf("Gaussian cardinality %d, want %d (Table 2)", len(ga), GaussianCardinality)
+	}
+	inSpace(t, ca, "CA-like")
+	inSpace(t, ny, "NY-like")
+	inSpace(t, ga, "gaussian")
+
+	// Clustering order (Section 5's premise): NY ≫ CA > Gaussian, with
+	// uniform as the floor.
+	u := ClusteringIndex(Uniform(100000, 9))
+	g := ClusteringIndex(ga)
+	c := ClusteringIndex(ca)
+	n := ClusteringIndex(ny)
+	t.Logf("clustering index: uniform=%.4f gaussian=%.4f CA-like=%.4f NY-like=%.4f", u, g, c, n)
+	if !(n > c && c > g && g > u) {
+		t.Errorf("clustering order violated: NY=%.4f CA=%.4f Gaussian=%.4f Uniform=%.4f", n, c, g, u)
+	}
+	if n < 0.5 {
+		t.Errorf("NY-like clustering index %.4f too low for 'highly clustered'", n)
+	}
+}
+
+func TestClusteredSpec(t *testing.T) {
+	pts := Clustered(ClusterSpec{N: 3000, Clusters: 5, Spread: 30, BackgroundFrac: 0.1}, 4)
+	if len(pts) != 3000 {
+		t.Fatalf("cardinality %d", len(pts))
+	}
+	inSpace(t, pts, "clustered")
+	if ci := ClusteringIndex(pts); ci < 0.3 {
+		t.Errorf("clustered spec yields index %.4f, want strongly clustered", ci)
+	}
+	// Degenerate spec is repaired.
+	one := Clustered(ClusterSpec{N: 10}, 5)
+	if len(one) != 10 {
+		t.Fatalf("degenerate spec cardinality %d", len(one))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Uniform(500, 6)
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("loaded %d of %d points", len(back), len(pts))
+	}
+	for i := range pts {
+		if pts[i] != back[i] {
+			t.Fatalf("point %d: %v != %v", i, pts[i], back[i])
+		}
+	}
+}
+
+func TestLoadCSVFormats(t *testing.T) {
+	in := strings.Join([]string{
+		"# a comment",
+		"",
+		"1.5,2.5",
+		" 3 , 4 , 77 ",
+		"5,6,",
+	}, "\n")
+	pts, err := LoadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []geom.Point{{X: 1.5, Y: 2.5, ID: 0}, {X: 3, Y: 4, ID: 77}, {X: 5, Y: 6, ID: 2}}
+	if len(pts) != len(want) {
+		t.Fatalf("loaded %d points: %v", len(pts), pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d: %v, want %v", i, pts[i], want[i])
+		}
+	}
+	bad := []string{"1", "x,2", "1,y", "1,2,zz"}
+	for _, b := range bad {
+		if _, err := LoadCSV(strings.NewReader(b)); err == nil {
+			t.Errorf("line %q accepted", b)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := []geom.Point{
+		{X: -120.5, Y: 34.2, ID: 1},
+		{X: -115.0, Y: 36.0, ID: 2},
+		{X: -118.3, Y: 35.1, ID: 3},
+	}
+	norm := Normalize(pts)
+	inSpace(t, norm, "normalized")
+	// Aspect ratio preserved: x span maps to the full width (it is the
+	// larger span), relative positions keep their order.
+	if norm[0].X >= norm[2].X || norm[2].X >= norm[1].X {
+		t.Errorf("x order broken: %v", norm)
+	}
+	if norm[0].X != 0 || norm[1].X != SpaceWidth {
+		t.Errorf("x extremes not mapped to space edges: %v", norm)
+	}
+	if Normalize(nil) != nil {
+		t.Error("nil input should stay nil")
+	}
+	same := Normalize([]geom.Point{{X: 7, Y: 7}})
+	if same[0].X != SpaceWidth/2 || same[0].Y != SpaceWidth/2 {
+		t.Errorf("degenerate normalize: %v", same[0])
+	}
+}
+
+func TestClusteringIndexBounds(t *testing.T) {
+	if ci := ClusteringIndex(nil); ci != 0 {
+		t.Errorf("empty index %g", ci)
+	}
+	// All points in one cell: index 1.
+	var pts []geom.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{X: 1, Y: 1, ID: uint64(i)})
+	}
+	if ci := ClusteringIndex(pts); ci != 1 {
+		t.Errorf("degenerate cluster index %g, want 1", ci)
+	}
+}

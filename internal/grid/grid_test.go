@@ -1,0 +1,233 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"nwcq/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	space := geom.NewRect(0, 0, 100, 100)
+	if _, err := New(space, 0, nil); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := New(space, -5, nil); err == nil {
+		t.Error("negative cell size accepted")
+	}
+	if _, err := New(geom.EmptyRect(), 10, nil); err == nil {
+		t.Error("empty space accepted")
+	}
+	if _, err := New(space, 10, []geom.Point{{X: 200, Y: 0}}); err == nil {
+		t.Error("out-of-space point accepted")
+	}
+}
+
+func TestDimsMatchPaper(t *testing.T) {
+	// Section 5.2: grid size 25 on a 10,000-wide space gives 160,000
+	// cells at ~312 KB of short integers.
+	space := geom.NewRect(0, 0, 10000, 10000)
+	d, err := New(space, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny := d.Dims()
+	if nx*ny < 160000 || nx*ny > 161*1001 {
+		t.Errorf("dims %dx%d = %d cells, paper has 160000", nx, ny, nx*ny)
+	}
+	if d.StorageBytes() < 320000 || d.StorageBytes() > 322*1004 {
+		t.Errorf("storage %d bytes, paper reports ~312KB", d.StorageBytes())
+	}
+}
+
+func TestUpperBoundNeverUndercounts(t *testing.T) {
+	space := geom.NewRect(0, 0, 1000, 1000)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 5000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(i)}
+	}
+	for _, cell := range []float64{7, 25, 100, 333, 2000} {
+		d, err := New(space, cell, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Total() != len(pts) {
+			t.Fatalf("total %d, want %d", d.Total(), len(pts))
+		}
+		for i := 0; i < 500; i++ {
+			r := geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+				rng.Float64()*1000, rng.Float64()*1000)
+			exact := 0
+			for _, p := range pts {
+				if r.ContainsPoint(p) {
+					exact++
+				}
+			}
+			ub := d.UpperBound(r)
+			if ub < exact {
+				t.Fatalf("cell=%g rect=%v: upper bound %d < exact %d", cell, r, ub, exact)
+			}
+			// The bound is limited by the cells the rect touches plus one
+			// ring of partial cells; sanity-check it is not wildly loose.
+			grown := r.Buffer(cell, cell)
+			loose := 0
+			for _, p := range pts {
+				if grown.ContainsPoint(p) {
+					loose++
+				}
+			}
+			if ub > loose {
+				t.Fatalf("cell=%g: upper bound %d exceeds one-ring population %d", cell, ub, loose)
+			}
+		}
+	}
+}
+
+func TestUpperBoundFullAndOutside(t *testing.T) {
+	space := geom.NewRect(0, 0, 100, 100)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 50}, {X: 100, Y: 100}}
+	d, err := New(space, 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := d.UpperBound(space); ub != 3 {
+		t.Errorf("full-space bound %d, want 3", ub)
+	}
+	if ub := d.UpperBound(geom.NewRect(-50, -50, -1, -1)); ub != 0 {
+		t.Errorf("outside bound %d, want 0", ub)
+	}
+	if ub := d.UpperBound(geom.NewRect(-1000, -1000, 1000, 1000)); ub != 3 {
+		t.Errorf("superset bound %d, want 3", ub)
+	}
+	if ub := d.UpperBound(geom.EmptyRect()); ub != 0 {
+		t.Errorf("empty-rect bound %d, want 0", ub)
+	}
+}
+
+func TestBoundaryPointsCounted(t *testing.T) {
+	space := geom.NewRect(0, 0, 100, 100)
+	// Points exactly on space and cell boundaries.
+	pts := []geom.Point{
+		{X: 100, Y: 100}, // top-right corner of the space
+		{X: 10, Y: 10},   // cell corner
+		{X: 0, Y: 100},
+	}
+	d, err := New(space, 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 3 {
+		t.Fatalf("total %d", d.Total())
+	}
+	for _, p := range pts {
+		if ub := d.UpperBound(geom.RectAround(p)); ub < 1 {
+			t.Errorf("boundary point %v not counted (ub=%d)", p, ub)
+		}
+	}
+}
+
+func TestPrunesRect(t *testing.T) {
+	space := geom.NewRect(0, 0, 100, 100)
+	var pts []geom.Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Point{X: 5, Y: 5, ID: uint64(i)}) // all in one cell
+	}
+	d, err := New(space, 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := geom.NewRect(0, 0, 9, 9)
+	empty := geom.NewRect(50, 50, 90, 90)
+	if d.PrunesRect(dense, 10) {
+		t.Error("pruned a rect with enough objects")
+	}
+	if !d.PrunesRect(dense, 11) {
+		t.Error("kept a rect that cannot satisfy n")
+	}
+	if !d.PrunesRect(empty, 1) {
+		t.Error("kept an empty region")
+	}
+}
+
+func TestCellSizeLargerThanSpace(t *testing.T) {
+	space := geom.NewRect(0, 0, 10, 10)
+	d, err := New(space, 100, []geom.Point{{X: 5, Y: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny := d.Dims()
+	if nx != 1 || ny != 1 {
+		t.Errorf("dims %dx%d, want 1x1", nx, ny)
+	}
+	if ub := d.UpperBound(geom.NewRect(8, 8, 9, 9)); ub != 1 {
+		t.Errorf("single-cell bound %d, want 1 (whole cell counts)", ub)
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	space := geom.NewRect(0, 0, 100, 100)
+	d, err := New(space, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Point{X: 15, Y: 15}
+	if err := d.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 1 || d.UpperBound(geom.NewRect(10, 10, 20, 20)) != 1 {
+		t.Fatalf("count after add: total=%d", d.Total())
+	}
+	if err := d.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 0 || d.UpperBound(space) != 0 {
+		t.Fatalf("count after remove: total=%d", d.Total())
+	}
+	// Errors: outside space, and removal from an empty cell.
+	if err := d.Add(geom.Point{X: 500, Y: 0}); err == nil {
+		t.Error("out-of-space add accepted")
+	}
+	if err := d.Remove(p); err == nil {
+		t.Error("underflow remove accepted")
+	}
+	if err := d.Remove(geom.Point{X: -5, Y: 0}); err == nil {
+		t.Error("out-of-space remove accepted")
+	}
+}
+
+func TestAddRemoveMatchesRebuild(t *testing.T) {
+	space := geom.NewRect(0, 0, 1000, 1000)
+	rng := rand.New(rand.NewSource(9))
+	var live []geom.Point
+	d, err := New(space, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(live))
+			if err := d.Remove(live[j]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		} else {
+			p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(i)}
+			if err := d.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+	}
+	rebuilt, err := New(space, 25, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		r := geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		if a, b := d.UpperBound(r), rebuilt.UpperBound(r); a != b {
+			t.Fatalf("incremental bound %d, rebuilt %d for %v", a, b, r)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nwcq/internal/core"
+	"nwcq/internal/datagen"
+)
+
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.01
+	o.Queries = 3
+	return o
+}
+
+func TestBuildEnv(t *testing.T) {
+	pts := datagen.Uniform(2000, 1)
+	for _, bulk := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.BulkLoad = bulk
+		env, err := Build("uniform", pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Tree.Len() != len(pts) {
+			t.Fatalf("bulk=%v: indexed %d of %d", bulk, env.Tree.Len(), len(pts))
+		}
+		if env.Engine == nil || env.Grid == nil || env.IWP == nil {
+			t.Fatal("missing substrate")
+		}
+		if env.Tree.Visits() != 0 {
+			t.Error("visits not reset after build")
+		}
+		if err := env.Tree.CheckInvariants(bulk); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWithGridSharesTree(t *testing.T) {
+	pts := datagen.Uniform(1000, 2)
+	env, err := Build("u", pts, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, err := env.WithGrid(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Tree != env.Tree || env2.IWP != env.IWP {
+		t.Error("WithGrid rebuilt shared substrates")
+	}
+	if env2.Grid.CellSize() != 400 {
+		t.Errorf("cell size %g", env2.Grid.CellSize())
+	}
+}
+
+func TestQueryPointsDeterministicAndCentered(t *testing.T) {
+	a := QueryPoints(25, 7)
+	b := QueryPoints(25, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("query points not deterministic")
+		}
+		if a[i].X < 1000 || a[i].X > 9000 || a[i].Y < 1000 || a[i].Y > 9000 {
+			t.Fatalf("query point %v outside central 80%%", a[i])
+		}
+	}
+	c := QueryPoints(25, 8)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds give identical query points")
+	}
+}
+
+func TestRunNWCAveragesOverQueries(t *testing.T) {
+	pts := datagen.CALikeN(3000, 3)
+	env, err := Build("ca", pts, Config{MaxEntries: 16, GridCellSize: 100, BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := QueryPoints(4, 9)
+	m, err := RunNWC(env, queries, 200, 200, 4, core.SchemeNWCStar, core.MeasureMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgIO <= 0 {
+		t.Errorf("avg IO %g", m.AvgIO)
+	}
+	if m.AvgFound <= 0 {
+		t.Errorf("nothing found: %+v", m)
+	}
+	// Averaging really averages: a single-query run differs from the
+	// aggregate unless all queries cost the same.
+	single, err := RunNWC(env, queries[:1], 200, 200, 4, core.SchemeNWCStar, core.MeasureMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.TotalStats.NodeVisits > m.TotalStats.NodeVisits {
+		t.Error("aggregate stats smaller than single-run stats")
+	}
+}
+
+func TestRunKNWC(t *testing.T) {
+	pts := datagen.NYLikeN(3000, 4)
+	env, err := Build("ny", pts, Config{MaxEntries: 16, GridCellSize: 100, BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := QueryPoints(3, 10)
+	m, err := RunKNWC(env, queries, 300, 300, 4, 3, 1, core.SchemeNWCStar, core.MeasureMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgIO <= 0 || m.AvgFound <= 0 {
+		t.Errorf("kNWC measurement %+v", m)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"A", "LongColumn"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "22")
+	out := tab.Render()
+	for _, want := range []string{"demo", "A", "LongColumn", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFmtIO(t *testing.T) {
+	cases := map[float64]string{
+		3.14159:  "3.1",
+		250:      "250",
+		2500000:  "2.5M",
+		99.94:    "99.9",
+		123456.7: "0.123M",
+	}
+	for v, want := range cases {
+		if got := fmtIO(v); got != want {
+			t.Errorf("fmtIO(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTable2AndTable3(t *testing.T) {
+	tab, err := Table2(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table2 rows: %d", len(tab.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 7 {
+		t.Fatalf("Table3 rows: %d", len(t3.Rows))
+	}
+	// NWC row all off, NWC* row all on.
+	if t3.Rows[0][1] != "-" || t3.Rows[6][4] != "yes" {
+		t.Errorf("Table3 content: %v", t3.Rows)
+	}
+}
+
+// TestExperimentsSmoke runs every experiment at a tiny scale and checks
+// the headline trends of Section 5 hold. It takes a couple of minutes —
+// the figure-12 sweep reaches very large windows — so it is skipped
+// under -short.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke suite skipped in -short mode")
+	}
+	o := tinyOptions()
+	parse := func(s string) float64 {
+		mult := 1.0
+		if strings.HasSuffix(s, "M") {
+			mult = 1e6
+			s = strings.TrimSuffix(s, "M")
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("unparseable cell %q", s)
+		}
+		return v * mult
+	}
+
+	fig9, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig9.Rows) != 5 {
+		t.Fatalf("fig9 rows %d", len(fig9.Rows))
+	}
+
+	fig10, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig10.Rows) != 5 || len(fig10.Rows[0]) != 8 {
+		t.Fatalf("fig10 shape %dx%d", len(fig10.Rows), len(fig10.Rows[0]))
+	}
+	// NWC* beats plain NWC on the most clustered Gaussian (σ=1000).
+	last := fig10.Rows[len(fig10.Rows)-1]
+	if parse(last[7]) >= parse(last[1]) {
+		t.Errorf("fig10 σ=1000: NWC* %s not below NWC %s", last[7], last[1])
+	}
+
+	fig11, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig11) != 3 {
+		t.Fatalf("fig11 tables %d", len(fig11))
+	}
+	// Plain NWC is roughly constant in n (Section 5.3): spread < 10%.
+	for _, tab := range fig11 {
+		lo, hi := 1e18, 0.0
+		for _, row := range tab.Rows {
+			v := parse(row[1])
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo*1.1 {
+			t.Errorf("%s: plain NWC varies %g..%g with n", tab.Title, lo, hi)
+		}
+	}
+
+	fig12, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain NWC cost grows with window size (Section 5.4).
+	for _, tab := range fig12 {
+		first := parse(tab.Rows[0][1])
+		lastV := parse(tab.Rows[len(tab.Rows)-1][1])
+		if lastV <= first {
+			t.Errorf("%s: plain NWC did not grow with window size (%g -> %g)", tab.Title, first, lastV)
+		}
+	}
+
+	fig13, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig13.Rows) != 5 || len(fig13.Rows[0]) != 5 {
+		t.Fatalf("fig13 shape")
+	}
+
+	fig14, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig14.Rows) != 5 {
+		t.Fatalf("fig14 shape")
+	}
+
+	sto, err := StorageOverheads(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sto.Rows) != 3 {
+		t.Fatalf("storage rows %d", len(sto.Rows))
+	}
+
+	model, err := ModelComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Rows) != 3 {
+		t.Fatalf("model rows %d", len(model.Rows))
+	}
+}
+
+// TestAblationSmoke runs the design-choice ablations at a tiny scale.
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation smoke skipped in -short mode")
+	}
+	tables, err := Ablation(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d ablation tables", len(tables))
+	}
+	// Build-method table: 3 datasets x 2 methods.
+	if len(tables[0].Rows) != 6 {
+		t.Errorf("build ablation rows: %d", len(tables[0].Rows))
+	}
+	// Fan-out table: 3 rows; node counts must decrease with fan-out.
+	if len(tables[1].Rows) != 3 {
+		t.Fatalf("fan-out ablation rows: %d", len(tables[1].Rows))
+	}
+	n25, _ := strconv.Atoi(tables[1].Rows[0][1])
+	n100, _ := strconv.Atoi(tables[1].Rows[2][1])
+	if n100 >= n25 {
+		t.Errorf("fan-out 100 has %d nodes, fan-out 25 has %d", n100, n25)
+	}
+	// IWP table: pointer counts must not decrease minimal -> full. (At
+	// tiny scale the tree can be only two levels deep, in which case the
+	// spacings coincide; the strict ordering is asserted on deep trees
+	// by the iwp package's own tests.)
+	if len(tables[2].Rows) != 3 {
+		t.Fatalf("IWP ablation rows: %d", len(tables[2].Rows))
+	}
+	bMin, _ := strconv.Atoi(tables[2].Rows[0][1])
+	bFull, _ := strconv.Atoi(tables[2].Rows[2][1])
+	if bFull < bMin {
+		t.Errorf("full spacing has %d pointers, minimal %d", bFull, bMin)
+	}
+}

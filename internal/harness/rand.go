@@ -1,0 +1,6 @@
+package harness
+
+import "math/rand"
+
+// newRand isolates the harness's deterministic randomness in one place.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

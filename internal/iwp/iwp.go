@@ -1,0 +1,325 @@
+// Package iwp implements the paper's incremental window query processing
+// (IWP, Section 3.3.4): an R*-tree augmentation that lets the window
+// queries issued by the NWC algorithm start from intermediate nodes
+// instead of the root, cutting the I/O of repeatedly descending from the
+// top of the tree.
+//
+// Two pointer families are attached to the (static) tree:
+//
+//   - Backward pointers: each leaf s holds r pointers following the
+//     Exponential-Index spacing — bp₁ points to s itself, bpᵢ (1<i<r)
+//     points to the ancestor of s at depth h−2^(i−2), and bp_r points to
+//     the root, where h is the leaf depth and r = ⌈log₂ h⌉ + 2. Each
+//     pointer carries the MBR of its target.
+//
+//   - Overlapping pointers: every node targeted by some backward pointer
+//     (except the root) holds pointers to the other nodes at its depth
+//     whose MBRs overlap it. Same-depth subtrees partition the data, so
+//     consulting the overlapping nodes restores completeness when a
+//     window query starts below the root.
+//
+// A window query for rectangle rect issued while processing an object
+// stored in leaf s then proceeds (Algorithm 3): pick the smallest i with
+// rect ⊆ mbrᵢᵇ, and run traditional window queries from bpᵢ's target and
+// from every overlapping node of that target whose MBR intersects rect.
+package iwp
+
+import (
+	"fmt"
+	"sort"
+
+	"nwcq/internal/geom"
+	"nwcq/internal/rstar"
+)
+
+// Pointer references a tree node together with a copy of its MBR, so
+// that consulting the pointer costs no node access.
+type Pointer struct {
+	Node rstar.NodeID
+	MBR  geom.Rect
+}
+
+// Strategy selects how backward pointers are spaced along the
+// root-to-leaf path. The paper uses the exponential spacing; the other
+// strategies exist for ablation: denser pointers find lower starting
+// nodes but cost more storage, sparser ones the reverse.
+type Strategy int
+
+const (
+	// Exponential is the paper's spacing (depths h, h−1, h−2, h−4, …,
+	// 0): r = ⌈log₂ h⌉ + 2 pointers per leaf.
+	Exponential Strategy = iota
+	// Full keeps a pointer to every ancestor: h + 1 pointers per leaf,
+	// the lowest possible starting nodes, the highest storage.
+	Full
+	// Minimal keeps only the leaf itself and the root: window queries
+	// start at the leaf when the rectangle fits inside it and at the
+	// root otherwise.
+	Minimal
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Exponential:
+		return "exponential"
+	case Full:
+		return "full"
+	case Minimal:
+		return "minimal"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Index holds the IWP augmentation of one R*-tree snapshot. The tree
+// must not be mutated after Build; rebuild the index if it is.
+type Index struct {
+	tree     *rstar.Tree
+	rootID   rstar.NodeID
+	strategy Strategy
+	backward map[rstar.NodeID][]Pointer
+	overlap  map[rstar.NodeID][]Pointer
+
+	numBackward int
+	numOverlap  int
+}
+
+// Build constructs the augmentation with the paper's exponential
+// backward-pointer spacing.
+func Build(tree *rstar.Tree) (*Index, error) {
+	return BuildWithStrategy(tree, Exponential)
+}
+
+// BuildWithStrategy walks the tree once and constructs the backward and
+// overlapping pointer sets under the given spacing strategy. The walk's
+// node accesses are build-time cost and are not part of query I/O;
+// callers typically ResetVisits afterwards.
+func BuildWithStrategy(tree *rstar.Tree, strategy Strategy) (*Index, error) {
+	if strategy < Exponential || strategy > Minimal {
+		return nil, fmt.Errorf("iwp: unknown strategy %d", int(strategy))
+	}
+	ix := &Index{
+		tree:     tree,
+		rootID:   tree.Root(),
+		strategy: strategy,
+		backward: make(map[rstar.NodeID][]Pointer),
+		overlap:  make(map[rstar.NodeID][]Pointer),
+	}
+
+	// One pass: per-depth node lists and each leaf's ancestor path.
+	byDepth := make([][]Pointer, tree.Height())
+	targeted := make(map[rstar.NodeID]int) // node -> its depth
+	var descend func(id rstar.NodeID, depth int, path []Pointer) error
+	descend = func(id rstar.NodeID, depth int, path []Pointer) error {
+		node, err := tree.Node(id)
+		if err != nil {
+			return err
+		}
+		self := Pointer{Node: id, MBR: node.MBR()}
+		if depth >= len(byDepth) {
+			return fmt.Errorf("iwp: node %d at depth %d exceeds height %d", id, depth, tree.Height())
+		}
+		byDepth[depth] = append(byDepth[depth], self)
+		path = append(path, self)
+		if node.Leaf {
+			bps := backwardPointersFor(path, strategy)
+			ix.backward[id] = bps
+			ix.numBackward += len(bps)
+			for _, bp := range bps {
+				if bp.Node != ix.rootID {
+					targeted[bp.Node] = depthOfPointer(path, bp.Node)
+				}
+			}
+			return nil
+		}
+		for _, c := range node.Children {
+			if err := descend(c, depth+1, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := descend(ix.rootID, 0, nil); err != nil {
+		return nil, err
+	}
+
+	// Overlapping pointers for every targeted node, via a per-depth
+	// plane sweep along x.
+	for depth, nodes := range byDepth {
+		hasTargets := false
+		for _, n := range nodes {
+			if d, ok := targeted[n.Node]; ok && d == depth {
+				hasTargets = true
+				break
+			}
+		}
+		if !hasTargets {
+			continue
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].MBR.MinX < nodes[b].MBR.MinX })
+		for i, n := range nodes {
+			if d, ok := targeted[n.Node]; !ok || d != depth {
+				continue
+			}
+			var ovs []Pointer
+			// Sweep left: candidates whose span may reach n.
+			for j := i - 1; j >= 0; j-- {
+				if nodes[j].MBR.Intersects(n.MBR) {
+					ovs = append(ovs, nodes[j])
+				}
+			}
+			// Sweep right: once MinX passes n.MaxX nothing can overlap.
+			for j := i + 1; j < len(nodes) && nodes[j].MBR.MinX <= n.MBR.MaxX; j++ {
+				if nodes[j].MBR.Intersects(n.MBR) {
+					ovs = append(ovs, nodes[j])
+				}
+			}
+			if len(ovs) > 0 {
+				ix.overlap[n.Node] = ovs
+				ix.numOverlap += len(ovs)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// depthOfPointer finds the depth of node id along the root-to-leaf path.
+func depthOfPointer(path []Pointer, id rstar.NodeID) int {
+	for d, p := range path {
+		if p.Node == id {
+			return d
+		}
+	}
+	return -1
+}
+
+// backwardPointers selects the Exponential-Index subset of a
+// root-to-leaf path: the leaf itself, ancestors at depths h−1, h−2,
+// h−4, h−8, …, and the root, where h is the leaf's depth.
+func backwardPointers(path []Pointer) []Pointer {
+	h := len(path) - 1 // leaf depth; root is path[0]
+	out := []Pointer{path[h]}
+	for step := 1; h-step > 0; step *= 2 {
+		out = append(out, path[h-step])
+	}
+	if h > 0 {
+		out = append(out, path[0])
+	}
+	return out
+}
+
+// backwardPointersFor applies the chosen spacing strategy to a
+// root-to-leaf path, ordered leaf-first like the paper's bp₁ … bp_r.
+func backwardPointersFor(path []Pointer, strategy Strategy) []Pointer {
+	h := len(path) - 1
+	switch strategy {
+	case Full:
+		out := make([]Pointer, 0, h+1)
+		for d := h; d >= 0; d-- {
+			out = append(out, path[d])
+		}
+		return out
+	case Minimal:
+		out := []Pointer{path[h]}
+		if h > 0 {
+			out = append(out, path[0])
+		}
+		return out
+	default:
+		return backwardPointers(path)
+	}
+}
+
+// Strategy returns the spacing strategy this index was built with.
+func (ix *Index) Strategy() Strategy { return ix.strategy }
+
+// BackwardPointers returns the backward pointers of a leaf, ordered from
+// the leaf itself to the root (bp₁ … bp_r). The NWC algorithm attaches
+// them to each object it enqueues, as Section 3.3.4 prescribes.
+func (ix *Index) BackwardPointers(leaf rstar.NodeID) []Pointer {
+	return ix.backward[leaf]
+}
+
+// OverlapPointers returns the same-depth overlapping nodes recorded for
+// a backward-pointer target.
+func (ix *Index) OverlapPointers(node rstar.NodeID) []Pointer {
+	return ix.overlap[node]
+}
+
+// NumBackward returns the total number of backward pointers stored.
+func (ix *Index) NumBackward() int { return ix.numBackward }
+
+// NumOverlap returns the total number of overlapping pointers stored.
+func (ix *Index) NumOverlap() int { return ix.numOverlap }
+
+// StorageBytes reports the pointer storage overhead using the paper's
+// 4-bytes-per-pointer accounting (Section 5.2).
+func (ix *Index) StorageBytes() int { return (ix.numBackward + ix.numOverlap) * 4 }
+
+// WindowQuery runs Algorithm 3: a window query for rect on behalf of an
+// object stored in leaf, starting from the lowest backward-pointer
+// target whose MBR covers rect (plus that target's overlapping nodes
+// intersecting rect). fn is invoked once per matching point; returning
+// false stops the query. Node accesses are counted by the tree's store
+// exactly as for traditional queries.
+func (ix *Index) WindowQuery(leaf rstar.NodeID, rect geom.Rect, fn func(geom.Point) bool) error {
+	if rect.IsEmpty() {
+		return nil
+	}
+	bps := ix.backward[leaf]
+	if len(bps) == 0 {
+		return fmt.Errorf("iwp: leaf %d has no backward pointers (stale index?)", leaf)
+	}
+	start := Pointer{Node: ix.rootID}
+	covered := false
+	for _, bp := range bps {
+		if bp.MBR.ContainsRect(rect) {
+			start = bp
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		// Not even the root MBR covers rect (search regions may stick out
+		// of the data space); searching from the root alone is complete.
+		_, err := ix.tree.SearchFrom(ix.rootID, rect, fn)
+		return err
+	}
+	stop := false
+	wrapped := func(p geom.Point) bool {
+		if !fn(p) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	if _, err := ix.tree.SearchFrom(start.Node, rect, wrapped); err != nil {
+		return err
+	}
+	if stop || start.Node == ix.rootID {
+		return nil
+	}
+	for _, ov := range ix.overlap[start.Node] {
+		if !ov.MBR.Intersects(rect) {
+			continue
+		}
+		if _, err := ix.tree.SearchFrom(ov.Node, rect, wrapped); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WindowCollect runs WindowQuery and returns the matching points.
+func (ix *Index) WindowCollect(leaf rstar.NodeID, rect geom.Rect) ([]geom.Point, error) {
+	var out []geom.Point
+	err := ix.WindowQuery(leaf, rect, func(p geom.Point) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, err
+}

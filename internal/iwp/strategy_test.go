@@ -1,0 +1,119 @@
+package iwp
+
+import (
+	"math/rand"
+	"testing"
+
+	"nwcq/internal/geom"
+	"nwcq/internal/rstar"
+)
+
+func TestStrategyString(t *testing.T) {
+	cases := map[Strategy]string{
+		Exponential: "exponential",
+		Full:        "full",
+		Minimal:     "minimal",
+		Strategy(7): "Strategy(7)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Strategy(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestBuildWithStrategyValidation(t *testing.T) {
+	tr := buildTree(t, genPoints(rand.New(rand.NewSource(1)), 100, false), 8)
+	if _, err := BuildWithStrategy(tr, Strategy(42)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyPointerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := genPoints(rng, 3000, false)
+	tr := buildTree(t, pts, 4) // deep tree
+	if tr.Height() < 4 {
+		t.Fatalf("tree too shallow: %d", tr.Height())
+	}
+	exp, err := BuildWithStrategy(tr, Exponential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildWithStrategy(tr, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := BuildWithStrategy(tr, Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(min.NumBackward() < exp.NumBackward() && exp.NumBackward() < full.NumBackward()) {
+		t.Errorf("pointer count order violated: minimal %d, exponential %d, full %d",
+			min.NumBackward(), exp.NumBackward(), full.NumBackward())
+	}
+	if exp.Strategy() != Exponential || full.Strategy() != Full {
+		t.Error("strategy not recorded")
+	}
+	// Each leaf under Full has exactly height pointers; under Minimal 2.
+	h := tr.Height()
+	err = tr.Walk(func(n *rstar.Node) bool {
+		if !n.Leaf {
+			return true
+		}
+		if got := len(full.BackwardPointers(n.ID)); got != h {
+			t.Errorf("full: leaf %d has %d pointers, want %d", n.ID, got, h)
+		}
+		if got := len(min.BackwardPointers(n.ID)); got != 2 {
+			t.Errorf("minimal: leaf %d has %d pointers, want 2", n.ID, got)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrategiesAnswerIdentically: every spacing strategy returns the
+// same window-query results; they differ only in I/O.
+func TestStrategiesAnswerIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := genPoints(rng, 4000, true)
+	tr := buildTree(t, pts, 6)
+	indexes := map[Strategy]*Index{}
+	for _, s := range []Strategy{Exponential, Full, Minimal} {
+		ix, err := BuildWithStrategy(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexes[s] = ix
+	}
+	q := geom.Point{X: 500, Y: 500}
+	it := tr.NewNNIterator(q)
+	visits := map[Strategy]uint64{}
+	for i := 0; i < 300; i++ {
+		p, leaf, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		sr := geom.SearchRegion(q, p, 25, 25)
+		want, err := tr.SearchCollect(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, ix := range indexes {
+			tr.ResetVisits()
+			got, err := ix.WindowCollect(leaf, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			visits[s] += tr.Visits()
+			samePointSet(t, got, want, s.String())
+		}
+	}
+	// Denser pointers must not cost more I/O than sparser ones.
+	if visits[Full] > visits[Exponential] || visits[Exponential] > visits[Minimal] {
+		t.Errorf("I/O order violated: full %d, exponential %d, minimal %d",
+			visits[Full], visits[Exponential], visits[Minimal])
+	}
+}

@@ -1,0 +1,69 @@
+package pager
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used page cache. A capacity of
+// zero disables caching entirely. Values are defensive copies so cached
+// pages cannot be mutated by callers.
+type lru struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[PageID]*list.Element
+}
+
+type lruEntry struct {
+	id  PageID
+	buf []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[PageID]*list.Element),
+	}
+}
+
+func (c *lru) get(id PageID) ([]byte, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	el, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*lruEntry)
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out, true
+}
+
+func (c *lru) put(id PageID, buf []byte) {
+	if c.cap == 0 {
+		return
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*lruEntry).buf = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&lruEntry{id: id, buf: cp})
+	c.entries[id] = el
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*lruEntry).id)
+	}
+}
+
+func (c *lru) drop(id PageID) {
+	if el, ok := c.entries[id]; ok {
+		c.order.Remove(el)
+		delete(c.entries, id)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,436 @@
+// Package pager implements a disk-oriented fixed-size page store with a
+// header page, a free list, per-page CRC-32 checksums, an LRU buffer
+// pool, and read/write statistics.
+//
+// It is the storage substrate beneath the paged R*-tree node store. The
+// paper's evaluation (Section 5) uses a page size of 4096 bytes and
+// counts R*-tree node accesses as the performance metric; the pager makes
+// that accounting concrete: one tree node occupies exactly one page.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed on-disk page size in bytes, matching the paper's
+// experimental setting.
+const PageSize = 4096
+
+// payloadSize is the number of bytes of each page available to callers;
+// the remainder holds the page trailer (checksum).
+const payloadSize = PageSize - trailerSize
+
+const (
+	trailerSize = 4          // CRC-32 of the payload
+	magic       = 0x4e574351 // "NWCQ"
+	version     = 1
+)
+
+// PageID identifies a page within a file. Page 0 is the header page and
+// is never handed out by Allocate.
+type PageID uint32
+
+// InvalidPage is the zero PageID; it doubles as the nil pointer in
+// on-page data structures (page 0 is the header and never allocatable).
+const InvalidPage PageID = 0
+
+// Stats counts physical page operations since the store was opened (or
+// since ResetStats). CacheHits counts reads served by the buffer pool
+// without touching the backing file.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	Allocs    uint64
+	Frees     uint64
+	CacheHits uint64
+}
+
+// ErrChecksum is returned when a page read fails CRC verification.
+var ErrChecksum = errors.New("pager: page checksum mismatch")
+
+// ErrPageRange is returned when a PageID refers past the end of the file
+// or to the header page.
+var ErrPageRange = errors.New("pager: page id out of range")
+
+// File is the backing device abstraction: *os.File satisfies it, and
+// MemFile provides an in-memory equivalent for tests and benchmarks.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+}
+
+// MemFile is an in-memory File for tests and ephemeral stores.
+type MemFile struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewMemFile returns an empty in-memory file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadAt implements io.ReaderAt.
+func (f *MemFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the file as needed.
+func (f *MemFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(f.buf)) {
+		grown := make([]byte, end)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	copy(f.buf[off:], p)
+	return len(p), nil
+}
+
+// Truncate implements File.
+func (f *MemFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.buf)
+	f.buf = grown
+	return nil
+}
+
+// Len returns the current file size in bytes.
+func (f *MemFile) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.buf)
+}
+
+// Store is a page store over a File. It is safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	file     File
+	numPages PageID // pages in the file, including the header page
+	freeHead PageID // head of the free-list chain, InvalidPage if none
+	cache    *lru
+	stats    Stats
+	dirtyHdr bool
+
+	// UserRoot is an application-owned page reference persisted in the
+	// header (the R*-tree stores its root here). Set via SetUserRoot.
+	userRoot PageID
+	userMeta [64]byte
+}
+
+// Options configures a Store.
+type Options struct {
+	// CacheSize is the LRU buffer-pool capacity in pages. Zero disables
+	// caching so every Read hits the backing file.
+	CacheSize int
+}
+
+// Create initialises a fresh store on f, truncating any prior content.
+func Create(f File, opt Options) (*Store, error) {
+	if err := f.Truncate(0); err != nil {
+		return nil, fmt.Errorf("pager: truncate: %w", err)
+	}
+	s := &Store{
+		file:     f,
+		numPages: 1, // header
+		freeHead: InvalidPage,
+		cache:    newLRU(opt.CacheSize),
+		dirtyHdr: true,
+	}
+	if err := s.flushHeaderLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open attaches to an existing store on f, validating the header.
+func Open(f File, opt Options) (*Store, error) {
+	s := &Store{file: f, cache: newLRU(opt.CacheSize)}
+	if err := s.readHeader(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CreateFile creates (or truncates) a store in the named OS file.
+func CreateFile(path string, opt Options) (*Store, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := Create(f, opt)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return s, f, nil
+}
+
+// OpenFile opens an existing store in the named OS file.
+func OpenFile(path string, opt Options) (*Store, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := Open(f, opt)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return s, f, nil
+}
+
+// PayloadSize returns the usable bytes per page.
+func PayloadSize() int { return payloadSize }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the operation counters.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// NumPages returns the total number of pages in the file, including the
+// header page and any free pages.
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.numPages)
+}
+
+// SetUserRoot records an application root page and metadata blob (at most
+// 64 bytes) in the header. Call Sync to persist.
+func (s *Store) SetUserRoot(root PageID, meta []byte) error {
+	if len(meta) > len(s.userMeta) {
+		return fmt.Errorf("pager: user meta %d bytes exceeds %d", len(meta), len(s.userMeta))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.userRoot = root
+	s.userMeta = [64]byte{}
+	copy(s.userMeta[:], meta)
+	s.dirtyHdr = true
+	return nil
+}
+
+// UserRoot returns the application root page and metadata recorded in the
+// header.
+func (s *Store) UserRoot() (PageID, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta := make([]byte, len(s.userMeta))
+	copy(meta, s.userMeta[:])
+	return s.userRoot, meta
+}
+
+// Allocate returns a fresh page, reusing a freed page when available.
+func (s *Store) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Allocs++
+	if s.freeHead != InvalidPage {
+		id := s.freeHead
+		buf, err := s.readLocked(id)
+		if err != nil {
+			return InvalidPage, err
+		}
+		s.freeHead = PageID(be32(buf[:4]))
+		s.dirtyHdr = true
+		return id, nil
+	}
+	id := s.numPages
+	s.numPages++
+	s.dirtyHdr = true
+	// Materialise the page so reads within the file's range succeed.
+	if err := s.writeLocked(id, make([]byte, payloadSize)); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// Free returns a page to the free list. The page's content is no longer
+// meaningful after Free.
+func (s *Store) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkRange(id); err != nil {
+		return err
+	}
+	s.stats.Frees++
+	buf := make([]byte, payloadSize)
+	putBE32(buf[:4], uint32(s.freeHead))
+	if err := s.writeLocked(id, buf); err != nil {
+		return err
+	}
+	s.freeHead = id
+	s.dirtyHdr = true
+	return nil
+}
+
+// Read returns the payload of page id. The returned slice is a copy and
+// may be retained by the caller.
+func (s *Store) Read(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkRange(id); err != nil {
+		return nil, err
+	}
+	buf, err := s.readLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, payloadSize)
+	copy(out, buf)
+	return out, nil
+}
+
+// Write stores payload (at most PayloadSize bytes) into page id.
+func (s *Store) Write(id PageID, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkRange(id); err != nil {
+		return err
+	}
+	if len(payload) > payloadSize {
+		return fmt.Errorf("pager: payload %d bytes exceeds page payload %d", len(payload), payloadSize)
+	}
+	buf := make([]byte, payloadSize)
+	copy(buf, payload)
+	return s.writeLocked(id, buf)
+}
+
+// Sync flushes the header. Page writes are write-through, so after Sync
+// the file is a complete, reopenable image.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirtyHdr {
+		return s.flushHeaderLocked()
+	}
+	return nil
+}
+
+func (s *Store) checkRange(id PageID) error {
+	if id == InvalidPage || id >= s.numPages {
+		return fmt.Errorf("%w: page %d of %d", ErrPageRange, id, s.numPages)
+	}
+	return nil
+}
+
+func (s *Store) readLocked(id PageID) ([]byte, error) {
+	if buf, ok := s.cache.get(id); ok {
+		s.stats.CacheHits++
+		return buf, nil
+	}
+	raw := make([]byte, PageSize)
+	if _, err := s.file.ReadAt(raw, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	s.stats.Reads++
+	payload := raw[:payloadSize]
+	want := be32(raw[payloadSize:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	s.cache.put(id, payload)
+	return payload, nil
+}
+
+func (s *Store) writeLocked(id PageID, payload []byte) error {
+	raw := make([]byte, PageSize)
+	copy(raw, payload)
+	putBE32(raw[payloadSize:], crc32.ChecksumIEEE(raw[:payloadSize]))
+	if _, err := s.file.WriteAt(raw, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	s.stats.Writes++
+	s.cache.put(id, raw[:payloadSize])
+	return nil
+}
+
+// Header layout (page 0 payload):
+//
+//	[0:4]   magic
+//	[4:8]   version
+//	[8:12]  numPages
+//	[12:16] freeHead
+//	[16:20] userRoot
+//	[20:84] userMeta
+func (s *Store) flushHeaderLocked() error {
+	buf := make([]byte, payloadSize)
+	putBE32(buf[0:4], magic)
+	putBE32(buf[4:8], version)
+	putBE32(buf[8:12], uint32(s.numPages))
+	putBE32(buf[12:16], uint32(s.freeHead))
+	putBE32(buf[16:20], uint32(s.userRoot))
+	copy(buf[20:84], s.userMeta[:])
+	raw := make([]byte, PageSize)
+	copy(raw, buf)
+	putBE32(raw[payloadSize:], crc32.ChecksumIEEE(raw[:payloadSize]))
+	if _, err := s.file.WriteAt(raw, 0); err != nil {
+		return fmt.Errorf("pager: write header: %w", err)
+	}
+	s.dirtyHdr = false
+	return nil
+}
+
+func (s *Store) readHeader() error {
+	raw := make([]byte, PageSize)
+	if _, err := s.file.ReadAt(raw, 0); err != nil {
+		return fmt.Errorf("pager: read header: %w", err)
+	}
+	payload := raw[:payloadSize]
+	if got := crc32.ChecksumIEEE(payload); got != be32(raw[payloadSize:]) {
+		return fmt.Errorf("%w: header", ErrChecksum)
+	}
+	if be32(payload[0:4]) != magic {
+		return errors.New("pager: bad magic, not a page store")
+	}
+	if v := be32(payload[4:8]); v != version {
+		return fmt.Errorf("pager: unsupported version %d", v)
+	}
+	s.numPages = PageID(be32(payload[8:12]))
+	s.freeHead = PageID(be32(payload[12:16]))
+	s.userRoot = PageID(be32(payload[16:20]))
+	copy(s.userMeta[:], payload[20:84])
+	return nil
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putBE32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -1,0 +1,487 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func newTestStore(t *testing.T, cache int) (*Store, *MemFile) {
+	t.Helper()
+	f := NewMemFile()
+	s, err := Create(f, Options{CacheSize: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+func TestAllocateReadWrite(t *testing.T) {
+	s, _ := newTestStore(t, 0)
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == InvalidPage {
+		t.Fatal("allocated invalid page")
+	}
+	payload := []byte("hello pages")
+	if err := s.Write(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("read back %q, want %q", got[:len(payload)], payload)
+	}
+	if len(got) != PayloadSize() {
+		t.Fatalf("payload length %d, want %d", len(got), PayloadSize())
+	}
+}
+
+func TestHeaderPageProtected(t *testing.T) {
+	s, _ := newTestStore(t, 0)
+	if err := s.Write(0, []byte("x")); !errors.Is(err, ErrPageRange) {
+		t.Errorf("writing header page: err = %v, want ErrPageRange", err)
+	}
+	if _, err := s.Read(0); !errors.Is(err, ErrPageRange) {
+		t.Errorf("reading header page: err = %v, want ErrPageRange", err)
+	}
+	if _, err := s.Read(999); !errors.Is(err, ErrPageRange) {
+		t.Errorf("reading past EOF: err = %v, want ErrPageRange", err)
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	s, _ := newTestStore(t, 0)
+	id, _ := s.Allocate()
+	if err := s.Write(id, make([]byte, PageSize)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	s, _ := newTestStore(t, 0)
+	a, _ := s.Allocate()
+	b, _ := s.Allocate()
+	c, _ := s.Allocate()
+	if err := s.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO reuse: a then b.
+	r1, _ := s.Allocate()
+	r2, _ := s.Allocate()
+	if r1 != a || r2 != b {
+		t.Errorf("reused %d,%d; want %d,%d", r1, r2, a, b)
+	}
+	r3, _ := s.Allocate()
+	if r3 != c+1 {
+		t.Errorf("fresh page %d, want %d", r3, c+1)
+	}
+	st := s.Stats()
+	if st.Frees != 2 || st.Allocs != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	f := NewMemFile()
+	s, err := Create(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	rng := rand.New(rand.NewSource(7))
+	contents := map[PageID][]byte{}
+	for i := 0; i < 50; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, rng.Intn(PayloadSize()))
+		rng.Read(buf)
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		contents[id] = buf
+	}
+	if err := s.SetUserRoot(ids[3], []byte("tree-meta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, meta := reopened.UserRoot()
+	if root != ids[3] {
+		t.Errorf("user root %d, want %d", root, ids[3])
+	}
+	if !bytes.Equal(meta[:9], []byte("tree-meta")) {
+		t.Errorf("user meta %q", meta[:9])
+	}
+	for id, want := range contents {
+		got, err := reopened.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("page %d content mismatch", id)
+		}
+	}
+	if reopened.NumPages() != s.NumPages() {
+		t.Errorf("NumPages %d, want %d", reopened.NumPages(), s.NumPages())
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	f := NewMemFile()
+	s, err := Create(f, Options{}) // no cache: reads must hit the file
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	if err := s.Write(id, []byte("precious data")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the page's on-disk image.
+	off := int64(id)*PageSize + 5
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(id); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted read err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestHeaderCorruptionRejectedOnOpen(t *testing.T) {
+	f := NewMemFile()
+	if _, err := Create(f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], 9); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b[:], 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f, Options{}); !errors.Is(err, ErrChecksum) {
+		t.Errorf("open corrupted header err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	f := NewMemFile()
+	garbage := make([]byte, PageSize)
+	for i := range garbage {
+		garbage[i] = byte(i)
+	}
+	if _, err := f.WriteAt(garbage, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f, Options{}); err == nil {
+		t.Error("opened garbage file without error")
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	s, _ := newTestStore(t, 8)
+	id, _ := s.Allocate()
+	if err := s.Write(id, []byte("cached")); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Reads != 0 {
+		t.Errorf("physical reads = %d, want 0 (write-through cache)", st.Reads)
+	}
+	if st.CacheHits != 5 {
+		t.Errorf("cache hits = %d, want 5", st.CacheHits)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s, _ := newTestStore(t, 2)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := s.Allocate()
+		s.Write(id, []byte{byte(i)})
+		ids = append(ids, id)
+	}
+	s.ResetStats()
+	// Only the two most recent pages are cached.
+	if _, err := s.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Reads != 1 || st.CacheHits != 0 {
+		t.Errorf("stats after cold read = %+v", st)
+	}
+	if _, err := s.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("stats after warm read = %+v", st)
+	}
+}
+
+func TestCacheReturnsCopies(t *testing.T) {
+	s, _ := newTestStore(t, 4)
+	id, _ := s.Allocate()
+	s.Write(id, []byte("immutable"))
+	got, _ := s.Read(id)
+	got[0] = 'X'
+	again, _ := s.Read(id)
+	if again[0] != 'i' {
+		t.Error("cache returned aliased buffer; mutation leaked")
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := newLRU(0)
+	c.put(1, []byte("a"))
+	if _, ok := c.get(1); ok {
+		t.Error("zero-capacity cache stored a page")
+	}
+	if c.len() != 0 {
+		t.Error("zero-capacity cache non-empty")
+	}
+}
+
+func TestLRUDrop(t *testing.T) {
+	c := newLRU(4)
+	c.put(1, []byte("a"))
+	c.put(2, []byte("b"))
+	c.drop(1)
+	if _, ok := c.get(1); ok {
+		t.Error("dropped page still cached")
+	}
+	if _, ok := c.get(2); !ok {
+		t.Error("unrelated page evicted by drop")
+	}
+}
+
+func TestOSFileBackend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, f, err := CreateFile(path, Options{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	if err := s.Write(id, []byte("on disk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUserRoot(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, f2, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	root, _ := s2.UserRoot()
+	got, err := s2.Read(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:7], []byte("on disk")) {
+		t.Errorf("read back %q", got[:7])
+	}
+}
+
+func TestMemFileTruncate(t *testing.T) {
+	f := NewMemFile()
+	f.WriteAt([]byte("0123456789"), 0)
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 4 {
+		t.Errorf("len = %d, want 4", f.Len())
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Errorf("grown content = %v", buf)
+	}
+}
+
+func TestManyPagesStress(t *testing.T) {
+	s, _ := newTestStore(t, 16)
+	rng := rand.New(rand.NewSource(99))
+	live := map[PageID][]byte{}
+	var order []PageID
+	for i := 0; i < 3000; i++ {
+		switch {
+		case len(order) == 0 || rng.Intn(3) > 0:
+			id, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := live[id]; dup {
+				t.Fatalf("allocated live page %d twice", id)
+			}
+			buf := make([]byte, 1+rng.Intn(64))
+			rng.Read(buf)
+			if err := s.Write(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = buf
+			order = append(order, id)
+		default:
+			i := rng.Intn(len(order))
+			id := order[i]
+			order = append(order[:i], order[i+1:]...)
+			delete(live, id)
+			if err := s.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for id, want := range live {
+		got, err := s.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("page %d corrupted", id)
+		}
+	}
+}
+
+// TestConcurrentStoreAccess exercises the Store's concurrency safety:
+// parallel readers and writers on disjoint and shared pages (run under
+// -race).
+func TestConcurrentStoreAccess(t *testing.T) {
+	s, _ := newTestStore(t, 16)
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(g*31+i)%len(ids)]
+				switch i % 3 {
+				case 0:
+					if _, err := s.Read(id); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if err := s.Write(id, []byte{byte(g), byte(i)}); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every page still reads back with a valid checksum.
+	for _, id := range ids {
+		if _, err := s.Read(id); err != nil {
+			t.Fatalf("page %d unreadable after concurrent access: %v", id, err)
+		}
+	}
+}
+
+// TestConcurrentAllocateFree hammers the allocator from many
+// goroutines; every returned ID must be unique among live pages.
+func TestConcurrentAllocateFree(t *testing.T) {
+	s, _ := newTestStore(t, 0)
+	var mu sync.Mutex
+	live := map[PageID]bool{}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []PageID
+			for i := 0; i < 100; i++ {
+				id, err := s.Allocate()
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				if live[id] {
+					mu.Unlock()
+					errs <- fmt.Errorf("page %d allocated twice", id)
+					return
+				}
+				live[id] = true
+				mu.Unlock()
+				mine = append(mine, id)
+				if len(mine) > 10 {
+					victim := mine[0]
+					mine = mine[1:]
+					mu.Lock()
+					delete(live, victim)
+					mu.Unlock()
+					if err := s.Free(victim); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package rstar
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"nwcq/internal/geom"
+)
+
+// BulkLoad builds the tree from pts using sort-tile-recursive (STR)
+// packing (Leutenegger, Edgington and Lopez, ICDE 1997). It is much
+// faster than repeated insertion for large static datasets — the setting
+// of the paper's experiments — at a small cost in node quality. The tree
+// must be empty.
+//
+// Each node is packed to fillFactor × MaxEntries entries (fillFactor is
+// fixed at 0.7, a customary STR choice that leaves room for later
+// inserts).
+func (t *Tree) BulkLoad(pts []geom.Point) error {
+	if t.count != 0 {
+		return errors.New("rstar: BulkLoad requires an empty tree")
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	capacity := t.opts.MaxEntries * 7 / 10
+	if capacity < 2 {
+		capacity = 2
+	}
+
+	// Free the placeholder empty root.
+	if err := t.store.Free(t.root); err != nil {
+		return err
+	}
+
+	// Level 0: tile points into leaves.
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	level, err := t.packLeaves(sorted, capacity)
+	if err != nil {
+		return err
+	}
+	t.height = 1
+
+	// Upper levels: tile child entries until a single node remains.
+	for len(level) > 1 {
+		level, err = t.packInternal(level, capacity)
+		if err != nil {
+			return err
+		}
+		t.height++
+	}
+	t.root = level[0].child
+	t.count = len(pts)
+	return t.persistRoot()
+}
+
+// packLeaves slices the points STR-style and returns the resulting child
+// entries.
+func (t *Tree) packLeaves(pts []geom.Point, capacity int) ([]entry, error) {
+	nLeaves := (len(pts) + capacity - 1) / capacity
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := nSlices * capacity
+
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].X != pts[b].X {
+			return pts[a].X < pts[b].X
+		}
+		return pts[a].Y < pts[b].Y
+	})
+	var out []entry
+	for start := 0; start < len(pts); start += sliceSize {
+		end := start + sliceSize
+		if end > len(pts) {
+			end = len(pts)
+		}
+		slice := pts[start:end]
+		sort.Slice(slice, func(a, b int) bool {
+			if slice[a].Y != slice[b].Y {
+				return slice[a].Y < slice[b].Y
+			}
+			return slice[a].X < slice[b].X
+		})
+		for ls := 0; ls < len(slice); ls += capacity {
+			le := ls + capacity
+			if le > len(slice) {
+				le = len(slice)
+			}
+			leaf, err := t.store.Alloc(true)
+			if err != nil {
+				return nil, err
+			}
+			leaf.Points = append(leaf.Points, slice[ls:le]...)
+			if err := t.store.Put(leaf); err != nil {
+				return nil, err
+			}
+			out = append(out, childEntry(leaf.MBR(), leaf.ID))
+		}
+	}
+	return out, nil
+}
+
+// packInternal tiles child entries into internal nodes one level up.
+func (t *Tree) packInternal(children []entry, capacity int) ([]entry, error) {
+	nNodes := (len(children) + capacity - 1) / capacity
+	nSlices := int(math.Ceil(math.Sqrt(float64(nNodes))))
+	sliceSize := nSlices * capacity
+
+	sort.Slice(children, func(a, b int) bool {
+		ca, cb := children[a].rect.Center(), children[b].rect.Center()
+		if ca.X != cb.X {
+			return ca.X < cb.X
+		}
+		return ca.Y < cb.Y
+	})
+	var out []entry
+	for start := 0; start < len(children); start += sliceSize {
+		end := start + sliceSize
+		if end > len(children) {
+			end = len(children)
+		}
+		slice := children[start:end]
+		sort.Slice(slice, func(a, b int) bool {
+			ca, cb := slice[a].rect.Center(), slice[b].rect.Center()
+			if ca.Y != cb.Y {
+				return ca.Y < cb.Y
+			}
+			return ca.X < cb.X
+		})
+		for ls := 0; ls < len(slice); ls += capacity {
+			le := ls + capacity
+			if le > len(slice) {
+				le = len(slice)
+			}
+			node, err := t.store.Alloc(false)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range slice[ls:le] {
+				node.Rects = append(node.Rects, e.rect)
+				node.Children = append(node.Children, e.child)
+			}
+			if err := t.store.Put(node); err != nil {
+				return nil, err
+			}
+			out = append(out, childEntry(node.MBR(), node.ID))
+		}
+	}
+	return out, nil
+}

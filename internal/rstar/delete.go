@@ -1,0 +1,118 @@
+package rstar
+
+import "nwcq/internal/geom"
+
+// Delete removes one point equal to p (same coordinates and ID) from the
+// tree. It reports whether a matching point was found. Underflowing
+// nodes are condensed: their surviving entries are reinserted at their
+// original level, and a single-child internal root is collapsed.
+func (t *Tree) Delete(p geom.Point) (bool, error) {
+	root, err := t.store.Get(t.root)
+	if err != nil {
+		return false, err
+	}
+	var orphans []orphan
+	found, err := t.deleteRec(root, 0, nil, p, &orphans)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.count--
+
+	// Reinsert entries orphaned by condensed nodes at their original
+	// levels. Heights may change during these inserts; orphan levels are
+	// counted from the leaves so they remain valid.
+	for _, o := range orphans {
+		t.reinsertedAtLevel = make([]bool, t.height+1)
+		if err := t.insertEntry(o.e, o.level); err != nil {
+			return false, err
+		}
+	}
+
+	// Collapse a single-child internal root.
+	for {
+		root, err := t.store.Get(t.root)
+		if err != nil {
+			return false, err
+		}
+		if root.Leaf || root.Len() != 1 {
+			break
+		}
+		child := root.Children[0]
+		if err := t.store.Free(root.ID); err != nil {
+			return false, err
+		}
+		t.root = child
+		t.height--
+	}
+	return true, t.persistRoot()
+}
+
+type orphan struct {
+	e     entry
+	level int
+}
+
+// deleteRec searches for p below node (at the given depth from the
+// root), removes it, and condenses on the way back up. parentRects is
+// nil for the root. It returns whether p was found in this subtree.
+func (t *Tree) deleteRec(node *Node, depth int, parentRects *geom.Rect, p geom.Point, orphans *[]orphan) (bool, error) {
+	if node.Leaf {
+		for i, q := range node.Points {
+			if q == p {
+				node.Points = append(node.Points[:i], node.Points[i+1:]...)
+				if err := t.store.Put(node); err != nil {
+					return false, err
+				}
+				if parentRects != nil {
+					*parentRects = node.MBR()
+				}
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	target := geom.RectAround(p)
+	for i := 0; i < len(node.Children); i++ {
+		if !node.Rects[i].ContainsRect(target) {
+			continue
+		}
+		child, err := t.store.Get(node.Children[i])
+		if err != nil {
+			return false, err
+		}
+		found, err := t.deleteRec(child, depth+1, &node.Rects[i], p, orphans)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			continue
+		}
+		// Condense: if the child underflowed, evict it and queue its
+		// remaining entries for reinsertion.
+		if child.Len() < t.opts.MinEntries {
+			// The child sits one level below node; levels are counted
+			// from the leaves so the reinsertion target stays valid even
+			// if the height changes before reinsertion happens.
+			childLevel := t.height - 2 - depth
+			for _, e := range nodeEntries(child) {
+				*orphans = append(*orphans, orphan{e: e, level: childLevel})
+			}
+			if err := t.store.Free(child.ID); err != nil {
+				return false, err
+			}
+			node.Rects = append(node.Rects[:i], node.Rects[i+1:]...)
+			node.Children = append(node.Children[:i], node.Children[i+1:]...)
+		}
+		if err := t.store.Put(node); err != nil {
+			return false, err
+		}
+		if parentRects != nil {
+			*parentRects = node.MBR()
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,90 @@
+package rstar
+
+import (
+	"fmt"
+
+	"nwcq/internal/geom"
+)
+
+// CheckInvariants verifies the structural invariants of the tree and
+// returns the first violation found. It is used heavily by the test
+// suite and available to callers who want to audit a loaded index:
+//
+//  1. every child MBR recorded in a parent equals the child's actual MBR;
+//  2. all leaves sit at the same depth, equal to Height−1;
+//  3. every non-root node holds between MinEntries and MaxEntries
+//     entries (bulk-loaded trees are exempt from the lower bound, which
+//     STR does not guarantee; pass loose=true for them);
+//  4. the recorded point count matches the number of stored points.
+func (t *Tree) CheckInvariants(loose bool) error {
+	root, err := t.store.Get(t.root)
+	if err != nil {
+		return err
+	}
+	seen := 0
+	if err := t.checkNode(root, 0, true, loose, &seen); err != nil {
+		return err
+	}
+	if seen != t.count {
+		return fmt.Errorf("rstar: count %d but %d points stored", t.count, seen)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(node *Node, depth int, isRoot, loose bool, seen *int) error {
+	n := node.Len()
+	if n > t.opts.MaxEntries {
+		return fmt.Errorf("rstar: node %d overflows: %d > %d", node.ID, n, t.opts.MaxEntries)
+	}
+	if !isRoot && !loose && n < t.opts.MinEntries {
+		return fmt.Errorf("rstar: node %d underflows: %d < %d", node.ID, n, t.opts.MinEntries)
+	}
+	if isRoot && !node.Leaf && n < 2 {
+		return fmt.Errorf("rstar: internal root with %d children", n)
+	}
+	if node.Leaf {
+		if depth != t.height-1 {
+			return fmt.Errorf("rstar: leaf %d at depth %d, want %d", node.ID, depth, t.height-1)
+		}
+		*seen += len(node.Points)
+		return nil
+	}
+	if len(node.Rects) != len(node.Children) {
+		return fmt.Errorf("rstar: node %d has %d rects for %d children",
+			node.ID, len(node.Rects), len(node.Children))
+	}
+	for i, childID := range node.Children {
+		child, err := t.store.Get(childID)
+		if err != nil {
+			return err
+		}
+		actual := child.MBR()
+		if !rectAlmostEqual(node.Rects[i], actual) {
+			return fmt.Errorf("rstar: node %d entry %d MBR %v, child %d actual %v",
+				node.ID, i, node.Rects[i], childID, actual)
+		}
+		if err := t.checkNode(child, depth+1, false, loose, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rectAlmostEqual(a, b geom.Rect) bool {
+	const eps = 1e-9
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(a.MinX-b.MinX) <= eps && abs(a.MinY-b.MinY) <= eps &&
+		abs(a.MaxX-b.MaxX) <= eps && abs(a.MaxY-b.MaxY) <= eps
+}
+
+// NumNodes counts the nodes in the tree (one page each in paged form).
+func (t *Tree) NumNodes() (int, error) {
+	n := 0
+	err := t.Walk(func(*Node) bool { n++; return true })
+	return n, err
+}

@@ -1,0 +1,113 @@
+package rstar
+
+import (
+	"container/heap"
+
+	"nwcq/internal/geom"
+)
+
+// NNIterator enumerates indexed points in ascending order of distance to
+// a query point using the best-first (priority-queue) algorithm of
+// Hjaltason and Samet. The NWC algorithm's outer loop is exactly such a
+// traversal, so the iterator also reports the leaf each point came from —
+// the hook IWP needs for its backward pointers.
+type NNIterator struct {
+	tree *Tree
+	q    geom.Point
+	pq   nnHeap
+	err  error
+}
+
+// nnItem is a heap element: either an unexpanded node or a point pulled
+// out of a leaf.
+type nnItem struct {
+	dist2 float64
+	node  NodeID // InvalidNode for point items
+	point geom.Point
+	leaf  NodeID // leaf the point came from (point items only)
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewNNIterator starts a distance-ordered enumeration from q.
+func (t *Tree) NewNNIterator(q geom.Point) *NNIterator {
+	it := &NNIterator{tree: t, q: q}
+	root, err := t.store.Get(t.root)
+	if err != nil {
+		it.err = err
+		return it
+	}
+	it.pq = nnHeap{{dist2: root.MBR().MinDist2(q), node: t.root}}
+	heap.Init(&it.pq)
+	return it
+}
+
+// Next returns the next nearest point, the leaf node it is stored in and
+// its squared distance to the query point. ok is false when the
+// enumeration is exhausted or an error occurred (see Err).
+func (it *NNIterator) Next() (p geom.Point, leaf NodeID, dist2 float64, ok bool) {
+	if it.err != nil {
+		return geom.Point{}, InvalidNode, 0, false
+	}
+	for len(it.pq) > 0 {
+		item := heap.Pop(&it.pq).(nnItem)
+		if item.node == InvalidNode {
+			return item.point, item.leaf, item.dist2, true
+		}
+		node, err := it.tree.store.Get(item.node)
+		if err != nil {
+			it.err = err
+			return geom.Point{}, InvalidNode, 0, false
+		}
+		if node.Leaf {
+			for _, p := range node.Points {
+				heap.Push(&it.pq, nnItem{dist2: p.Dist2(it.q), point: p, leaf: node.ID})
+			}
+			continue
+		}
+		for i, r := range node.Rects {
+			heap.Push(&it.pq, nnItem{dist2: r.MinDist2(it.q), node: node.Children[i]})
+		}
+	}
+	return geom.Point{}, InvalidNode, 0, false
+}
+
+// PeekDist2 returns the squared distance key at the head of the queue —
+// a lower bound on the distance of everything not yet returned — and
+// false when the queue is exhausted.
+func (it *NNIterator) PeekDist2() (float64, bool) {
+	if it.err != nil || len(it.pq) == 0 {
+		return 0, false
+	}
+	return it.pq[0].dist2, true
+}
+
+// Err reports a store error encountered during iteration, if any.
+func (it *NNIterator) Err() error { return it.err }
+
+// NearestK returns the k points nearest to q in ascending distance order
+// (fewer if the tree holds fewer points).
+func (t *Tree) NearestK(q geom.Point, k int) ([]geom.Point, error) {
+	it := t.NewNNIterator(q)
+	out := make([]geom.Point, 0, k)
+	for len(out) < k {
+		p, _, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out, it.Err()
+}

@@ -1,0 +1,187 @@
+package rstar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"nwcq/internal/geom"
+	"nwcq/internal/pager"
+)
+
+// PagedStore persists each node on one 4096-byte page of a pager.Store,
+// giving the tree its disk-oriented form: one node visit = one page
+// access, exactly the paper's I/O accounting.
+//
+// Node page layout (big endian):
+//
+//	[0]    kind: 1 = leaf, 0 = internal
+//	[1:3]  entry count (uint16)
+//	leaf entries, 24 bytes each:      x float64, y float64, id uint64
+//	internal entries, 36 bytes each:  minx, miny, maxx, maxy float64, child uint32
+type PagedStore struct {
+	pages  *pager.Store
+	visits atomic.Uint64
+}
+
+const (
+	leafEntrySize     = 24
+	internalEntrySize = 36
+	nodeHeaderSize    = 3
+)
+
+// MaxPagedEntries returns the largest fan-out that fits a node on one
+// page; both entry kinds must fit. The paper's fan-out of 50 fits with
+// room to spare.
+func MaxPagedEntries() int {
+	return (pager.PayloadSize() - nodeHeaderSize) / internalEntrySize
+}
+
+// NewPagedStore wraps a pager.Store as a NodeStore.
+func NewPagedStore(pages *pager.Store) *PagedStore {
+	return &PagedStore{pages: pages}
+}
+
+// Pages exposes the underlying page store (for stats and Sync).
+func (s *PagedStore) Pages() *pager.Store { return s.pages }
+
+// Alloc implements NodeStore.
+func (s *PagedStore) Alloc(leaf bool) (*Node, error) {
+	id, err := s.pages.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: NodeID(id), Leaf: leaf}
+	return n, s.Put(n)
+}
+
+// Get implements NodeStore and counts one visit.
+func (s *PagedStore) Get(id NodeID) (*Node, error) {
+	buf, err := s.pages.Read(pager.PageID(id))
+	if err != nil {
+		return nil, err
+	}
+	s.visits.Add(1)
+	return decodeNode(id, buf)
+}
+
+// Put implements NodeStore.
+func (s *PagedStore) Put(n *Node) error {
+	buf, err := encodeNode(n)
+	if err != nil {
+		return err
+	}
+	return s.pages.Write(pager.PageID(n.ID), buf)
+}
+
+// Free implements NodeStore.
+func (s *PagedStore) Free(id NodeID) error {
+	return s.pages.Free(pager.PageID(id))
+}
+
+// Root implements NodeStore, reading the reference persisted in the page
+// file header.
+func (s *PagedStore) Root() (NodeID, int, int) {
+	root, meta := s.pages.UserRoot()
+	if len(meta) < 16 {
+		return NodeID(root), 0, 0
+	}
+	height := int(binary.BigEndian.Uint64(meta[0:8]))
+	count := int(binary.BigEndian.Uint64(meta[8:16]))
+	return NodeID(root), height, count
+}
+
+// SetRoot implements NodeStore.
+func (s *PagedStore) SetRoot(id NodeID, height, count int) error {
+	var meta [16]byte
+	binary.BigEndian.PutUint64(meta[0:8], uint64(height))
+	binary.BigEndian.PutUint64(meta[8:16], uint64(count))
+	return s.pages.SetUserRoot(pager.PageID(id), meta[:])
+}
+
+// Visits implements NodeStore.
+func (s *PagedStore) Visits() uint64 { return s.visits.Load() }
+
+// ResetVisits implements NodeStore.
+func (s *PagedStore) ResetVisits() { s.visits.Store(0) }
+
+func encodeNode(n *Node) ([]byte, error) {
+	var size int
+	if n.Leaf {
+		size = nodeHeaderSize + leafEntrySize*len(n.Points)
+	} else {
+		size = nodeHeaderSize + internalEntrySize*len(n.Children)
+	}
+	if size > pager.PayloadSize() {
+		return nil, fmt.Errorf("rstar: node %d with %d entries overflows page", n.ID, n.Len())
+	}
+	buf := make([]byte, size)
+	if n.Leaf {
+		buf[0] = 1
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(n.Len()))
+	off := nodeHeaderSize
+	if n.Leaf {
+		for _, p := range n.Points {
+			binary.BigEndian.PutUint64(buf[off:], math.Float64bits(p.X))
+			binary.BigEndian.PutUint64(buf[off+8:], math.Float64bits(p.Y))
+			binary.BigEndian.PutUint64(buf[off+16:], p.ID)
+			off += leafEntrySize
+		}
+		return buf, nil
+	}
+	if len(n.Rects) != len(n.Children) {
+		return nil, fmt.Errorf("rstar: node %d rects/children length mismatch", n.ID)
+	}
+	for i, c := range n.Children {
+		r := n.Rects[i]
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(r.MinX))
+		binary.BigEndian.PutUint64(buf[off+8:], math.Float64bits(r.MinY))
+		binary.BigEndian.PutUint64(buf[off+16:], math.Float64bits(r.MaxX))
+		binary.BigEndian.PutUint64(buf[off+24:], math.Float64bits(r.MaxY))
+		binary.BigEndian.PutUint32(buf[off+32:], uint32(c))
+		off += internalEntrySize
+	}
+	return buf, nil
+}
+
+func decodeNode(id NodeID, buf []byte) (*Node, error) {
+	if len(buf) < nodeHeaderSize {
+		return nil, fmt.Errorf("rstar: node %d page too short", id)
+	}
+	n := &Node{ID: id, Leaf: buf[0] == 1}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	off := nodeHeaderSize
+	if n.Leaf {
+		if off+count*leafEntrySize > len(buf) {
+			return nil, fmt.Errorf("rstar: node %d truncated (%d leaf entries)", id, count)
+		}
+		n.Points = make([]geom.Point, 0, count)[:0]
+		for i := 0; i < count; i++ {
+			n.Points = append(n.Points, geom.Point{
+				X:  math.Float64frombits(binary.BigEndian.Uint64(buf[off:])),
+				Y:  math.Float64frombits(binary.BigEndian.Uint64(buf[off+8:])),
+				ID: binary.BigEndian.Uint64(buf[off+16:]),
+			})
+			off += leafEntrySize
+		}
+		return n, nil
+	}
+	if off+count*internalEntrySize > len(buf) {
+		return nil, fmt.Errorf("rstar: node %d truncated (%d internal entries)", id, count)
+	}
+	n.Rects = make([]geom.Rect, 0, count)
+	n.Children = make([]NodeID, 0, count)
+	for i := 0; i < count; i++ {
+		n.Rects = append(n.Rects, geom.Rect{
+			MinX: math.Float64frombits(binary.BigEndian.Uint64(buf[off:])),
+			MinY: math.Float64frombits(binary.BigEndian.Uint64(buf[off+8:])),
+			MaxX: math.Float64frombits(binary.BigEndian.Uint64(buf[off+16:])),
+			MaxY: math.Float64frombits(binary.BigEndian.Uint64(buf[off+24:])),
+		})
+		n.Children = append(n.Children, NodeID(binary.BigEndian.Uint32(buf[off+32:])))
+		off += internalEntrySize
+	}
+	return n, nil
+}

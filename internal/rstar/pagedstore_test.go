@@ -1,0 +1,226 @@
+package rstar
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"nwcq/internal/geom"
+	"nwcq/internal/pager"
+)
+
+func newPagedTree(t *testing.T, opts Options, cache int) (*Tree, *PagedStore) {
+	t.Helper()
+	pages, err := pager.Create(pager.NewMemFile(), pager.Options{CacheSize: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewPagedStore(pages)
+	tr, err := New(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, store
+}
+
+func TestMaxPagedEntriesFitsPaperFanout(t *testing.T) {
+	if got := MaxPagedEntries(); got < DefaultMaxEntries {
+		t.Fatalf("page fits %d entries, need at least %d", got, DefaultMaxEntries)
+	}
+}
+
+func TestNodeEncodingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	leaf := &Node{ID: 7, Leaf: true}
+	for i := 0; i < 50; i++ {
+		leaf.Points = append(leaf.Points, geom.Point{
+			X: rng.NormFloat64() * 1e6, Y: rng.NormFloat64() * 1e-6, ID: rng.Uint64(),
+		})
+	}
+	buf, err := encodeNode(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeNode(7, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Leaf || len(back.Points) != len(leaf.Points) {
+		t.Fatalf("decoded leaf shape wrong: %+v", back)
+	}
+	for i := range leaf.Points {
+		if back.Points[i] != leaf.Points[i] {
+			t.Fatalf("point %d: got %v, want %v", i, back.Points[i], leaf.Points[i])
+		}
+	}
+
+	inner := &Node{ID: 9}
+	for i := 0; i < 50; i++ {
+		inner.Rects = append(inner.Rects, geom.NewRect(
+			rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100))
+		inner.Children = append(inner.Children, NodeID(rng.Uint32()))
+	}
+	buf, err = encodeNode(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = decodeNode(9, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Leaf || len(back.Children) != 50 {
+		t.Fatalf("decoded internal shape wrong")
+	}
+	for i := range inner.Children {
+		if back.Rects[i] != inner.Rects[i] || back.Children[i] != inner.Children[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestNodeEncodingOverflow(t *testing.T) {
+	n := &Node{ID: 1}
+	for i := 0; i < MaxPagedEntries()+1; i++ {
+		n.Rects = append(n.Rects, geom.Rect{})
+		n.Children = append(n.Children, 1)
+	}
+	if _, err := encodeNode(n); err == nil {
+		t.Error("oversized node encoded without error")
+	}
+}
+
+// TestPagedMatchesMem builds identical trees on both stores and checks
+// that structure, query results and visit counts agree exactly.
+func TestPagedMatchesMem(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := genPoints(rng, 3000, true)
+
+	mem := newTree(t, Options{MaxEntries: 20})
+	paged, _ := newPagedTree(t, Options{MaxEntries: 20}, 64)
+	for _, p := range pts {
+		if err := mem.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := paged.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := paged.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Height() != paged.Height() {
+		t.Errorf("heights differ: mem %d, paged %d", mem.Height(), paged.Height())
+	}
+
+	for i := 0; i < 50; i++ {
+		r := geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		mem.ResetVisits()
+		paged.ResetVisits()
+		a, err := mem.SearchCollect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := paged.SearchCollect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePointSet(t, a, b, "mem vs paged window")
+		if mem.Visits() != paged.Visits() {
+			t.Errorf("visit counts differ: mem %d, paged %d", mem.Visits(), paged.Visits())
+		}
+	}
+}
+
+func TestPagedPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.db")
+	pages, f, err := pager.CreateFile(path, pager.Options{CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewPagedStore(pages)
+	tr, err := New(store, Options{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := genPoints(rng, 1000, false)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := tr.SearchCollect(geom.NewRect(100, 100, 600, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pages.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	pages2, f2, err := pager.OpenFile(path, pager.Options{CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	tr2, err := Attach(NewPagedStore(pages2), Options{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 1000 || tr2.Height() != tr.Height() {
+		t.Fatalf("reopened tree Len=%d Height=%d, want %d/%d",
+			tr2.Len(), tr2.Height(), 1000, tr.Height())
+	}
+	if err := tr2.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr2.SearchCollect(geom.NewRect(100, 100, 600, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePointSet(t, got, want, "reopened window query")
+
+	// Continue mutating after reopen.
+	if err := tr2.Insert(geom.Point{X: 1, Y: 1, ID: 12345}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tr2.Delete(pts[0]); err != nil || !ok {
+		t.Fatalf("delete after reopen: ok=%v err=%v", ok, err)
+	}
+	if err := tr2.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachEmptyStoreFails(t *testing.T) {
+	pages, err := pager.Create(pager.NewMemFile(), pager.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(NewPagedStore(pages), Options{}); err == nil {
+		t.Error("Attach on empty store succeeded")
+	}
+}
+
+func TestPagedDeleteStress(t *testing.T) {
+	tr, _ := newPagedTree(t, Options{MaxEntries: 8}, 128)
+	rng := rand.New(rand.NewSource(4))
+	pts := genPoints(rng, 600, true)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range rng.Perm(len(pts))[:400] {
+		if ok, err := tr.Delete(pts[i]); err != nil || !ok {
+			t.Fatalf("paged delete: ok=%v err=%v", ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", tr.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package rstar
+
+import "nwcq/internal/geom"
+
+// Search performs a window (range) query: fn is called for every indexed
+// point inside rect (closed boundaries). fn returning false stops the
+// search early. Every node touched counts as one visit.
+func (t *Tree) Search(rect geom.Rect, fn func(p geom.Point) bool) error {
+	_, err := t.SearchFrom(t.root, rect, fn)
+	return err
+}
+
+// SearchFrom runs a window query over the subtree rooted at id. It is
+// the primitive behind both traditional window queries (id = root) and
+// IWP's incremental processing, which starts from intermediate nodes
+// reached via backward pointers. It reports whether the traversal ran to
+// completion (false when fn stopped it).
+func (t *Tree) SearchFrom(id NodeID, rect geom.Rect, fn func(p geom.Point) bool) (bool, error) {
+	if rect.IsEmpty() {
+		return true, nil
+	}
+	node, err := t.store.Get(id)
+	if err != nil {
+		return false, err
+	}
+	if node.Leaf {
+		for _, p := range node.Points {
+			if rect.ContainsPoint(p) && !fn(p) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i, childRect := range node.Rects {
+		if !rect.Intersects(childRect) {
+			continue
+		}
+		done, err := t.SearchFrom(node.Children[i], rect, fn)
+		if err != nil || !done {
+			return done, err
+		}
+	}
+	return true, nil
+}
+
+// SearchCollect runs Search and returns the matching points.
+func (t *Tree) SearchCollect(rect geom.Rect) ([]geom.Point, error) {
+	var out []geom.Point
+	err := t.Search(rect, func(p geom.Point) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, err
+}
+
+// All returns every indexed point in unspecified order.
+func (t *Tree) All() ([]geom.Point, error) {
+	out := make([]geom.Point, 0, t.count)
+	err := t.walk(t.root, func(n *Node) bool {
+		if n.Leaf {
+			out = append(out, n.Points...)
+		}
+		return true
+	})
+	return out, err
+}
+
+// walk visits every node of the subtree depth-first. fn returning false
+// prunes the node's subtree.
+func (t *Tree) walk(id NodeID, fn func(n *Node) bool) error {
+	node, err := t.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if !fn(node) || node.Leaf {
+		return nil
+	}
+	for _, c := range node.Children {
+		if err := t.walk(c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Walk exposes a read-only depth-first traversal of the tree's nodes.
+// It is used by the IWP build pass and by invariant checks; every node
+// access is counted like any other visit.
+func (t *Tree) Walk(fn func(n *Node) bool) error {
+	return t.walk(t.root, fn)
+}

@@ -1,0 +1,312 @@
+// Package server exposes an nwcq index as a JSON-over-HTTP
+// location-based service — the deployment shape the paper's motivating
+// scenario implies (Section 1: a service suggesting the nearest cluster
+// of shops back to the user).
+//
+// Endpoints:
+//
+//	GET /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=]         one group
+//	GET /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=] k groups
+//	GET /nearest?x=&y=&k=                                  plain k-NN
+//	GET /stats                                             index + I/O counters
+//	GET /healthz                                           liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nwcq"
+)
+
+// Server handles queries against one index. It is safe for concurrent
+// use: the underlying index is static and reads are lock-free; only the
+// served-request counters take a mutex.
+type Server struct {
+	idx *nwcq.Index
+
+	mu     sync.Mutex
+	served uint64
+	failed uint64
+}
+
+// New wraps an index.
+func New(idx *nwcq.Index) *Server {
+	return &Server{idx: idx}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /nwc", s.handleNWC)
+	mux.HandleFunc("GET /knwc", s.handleKNWC)
+	mux.HandleFunc("GET /nearest", s.handleNearest)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// pointJSON mirrors nwcq.Point for stable JSON field names.
+type pointJSON struct {
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	ID uint64  `json:"id"`
+}
+
+type rectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+type groupJSON struct {
+	Objects []pointJSON `json:"objects"`
+	Dist    float64     `json:"dist"`
+	Window  rectJSON    `json:"window"`
+}
+
+type statsJSON struct {
+	NodeVisits       uint64 `json:"node_visits"`
+	ObjectsProcessed int    `json:"objects_processed"`
+	ObjectsSkipped   int    `json:"objects_skipped"`
+	NodesPruned      int    `json:"nodes_pruned"`
+	WindowQueries    int    `json:"window_queries"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func toGroupJSON(g nwcq.Group) groupJSON {
+	out := groupJSON{
+		Dist: g.Dist,
+		Window: rectJSON{
+			MinX: g.Window.MinX, MinY: g.Window.MinY,
+			MaxX: g.Window.MaxX, MaxY: g.Window.MaxY,
+		},
+	}
+	for _, o := range g.Objects {
+		out.Objects = append(out.Objects, pointJSON{X: o.X, Y: o.Y, ID: o.ID})
+	}
+	return out
+}
+
+func toStatsJSON(st nwcq.Stats) statsJSON {
+	return statsJSON{
+		NodeVisits:       st.NodeVisits,
+		ObjectsProcessed: st.ObjectsProcessed,
+		ObjectsSkipped:   st.ObjectsSkipped,
+		NodesPruned:      st.NodesPruned,
+		WindowQueries:    st.WindowQueries,
+	}
+}
+
+// queryFromRequest parses the shared NWC parameters.
+func queryFromRequest(r *http.Request) (nwcq.Query, error) {
+	var q nwcq.Query
+	var err error
+	get := func(name string) (float64, error) {
+		v := r.URL.Query().Get(name)
+		if v == "" {
+			return 0, fmt.Errorf("missing parameter %q", name)
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	if q.X, err = get("x"); err != nil {
+		return q, err
+	}
+	if q.Y, err = get("y"); err != nil {
+		return q, err
+	}
+	if q.Length, err = get("l"); err != nil {
+		return q, err
+	}
+	if q.Width, err = get("w"); err != nil {
+		return q, err
+	}
+	n, err := get("n")
+	if err != nil {
+		return q, err
+	}
+	q.N = int(n)
+	if sv := r.URL.Query().Get("scheme"); sv != "" {
+		scheme, err := ParseScheme(sv)
+		if err != nil {
+			return q, err
+		}
+		q.Scheme = &scheme
+	}
+	if mv := r.URL.Query().Get("measure"); mv != "" {
+		measure, err := ParseMeasure(mv)
+		if err != nil {
+			return q, err
+		}
+		q.Measure = measure
+	}
+	return q, nil
+}
+
+// ParseScheme maps the paper's scheme names onto Scheme values.
+func ParseScheme(s string) (nwcq.Scheme, error) {
+	switch strings.ToUpper(s) {
+	case "NWC":
+		return nwcq.SchemeNWC, nil
+	case "SRR":
+		return nwcq.SchemeSRR, nil
+	case "DIP":
+		return nwcq.SchemeDIP, nil
+	case "DEP":
+		return nwcq.SchemeDEP, nil
+	case "IWP":
+		return nwcq.SchemeIWP, nil
+	case "NWC+":
+		return nwcq.SchemeNWCPlus, nil
+	case "NWC*":
+		return nwcq.SchemeNWCStar, nil
+	default:
+		return nwcq.Scheme{}, fmt.Errorf("unknown scheme %q", s)
+	}
+}
+
+// ParseMeasure maps measure names onto Measure values.
+func ParseMeasure(s string) (nwcq.Measure, error) {
+	switch strings.ToLower(s) {
+	case "max":
+		return nwcq.MaxDistance, nil
+	case "min":
+		return nwcq.MinDistance, nil
+	case "avg":
+		return nwcq.AvgDistance, nil
+	case "window":
+		return nwcq.WindowDistance, nil
+	default:
+		return 0, fmt.Errorf("unknown measure %q", s)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.mu.Lock()
+	s.failed++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+}
+
+func (s *Server) ok(w http.ResponseWriter, payload any) {
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payload)
+}
+
+func (s *Server) handleNWC(w http.ResponseWriter, r *http.Request) {
+	q, err := queryFromRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.idx.NWC(q)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	type response struct {
+		Found bool       `json:"found"`
+		Group *groupJSON `json:"group,omitempty"`
+		Stats statsJSON  `json:"stats"`
+	}
+	out := response{Found: res.Found, Stats: toStatsJSON(res.Stats)}
+	if res.Found {
+		g := toGroupJSON(res.Group)
+		out.Group = &g
+	}
+	s.ok(w, out)
+}
+
+func (s *Server) handleKNWC(w http.ResponseWriter, r *http.Request) {
+	q, err := queryFromRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	kv := r.URL.Query().Get("k")
+	if kv == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing parameter %q", "k"))
+		return
+	}
+	k, err := strconv.Atoi(kv)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	m := 0
+	if mv := r.URL.Query().Get("m"); mv != "" {
+		if m, err = strconv.Atoi(mv); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	groups, st, err := s.idx.KNWC(nwcq.KQuery{Query: q, K: k, M: m})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	type response struct {
+		Groups []groupJSON `json:"groups"`
+		Stats  statsJSON   `json:"stats"`
+	}
+	out := response{Groups: make([]groupJSON, 0, len(groups)), Stats: toStatsJSON(st)}
+	for _, g := range groups {
+		out.Groups = append(out.Groups, toGroupJSON(g))
+	}
+	s.ok(w, out)
+}
+
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	x, err1 := strconv.ParseFloat(vals.Get("x"), 64)
+	y, err2 := strconv.ParseFloat(vals.Get("y"), 64)
+	k, err3 := strconv.Atoi(vals.Get("k"))
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("nearest needs numeric x, y, k: %v", err))
+			return
+		}
+	}
+	pts, err := s.idx.Nearest(x, y, k)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]pointJSON, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, pointJSON{X: p.X, Y: p.Y, ID: p.ID})
+	}
+	s.ok(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	gridB, iwpB := s.idx.StorageOverheadBytes()
+	s.mu.Lock()
+	served, failed := s.served, s.failed
+	s.mu.Unlock()
+	s.ok(w, map[string]any{
+		"points":          s.idx.Len(),
+		"tree_height":     s.idx.TreeHeight(),
+		"node_visits":     s.idx.IOStats(),
+		"grid_bytes":      gridB,
+		"iwp_bytes":       iwpB,
+		"requests_served": served,
+		"requests_failed": failed,
+	})
+}

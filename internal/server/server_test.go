@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"nwcq"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]nwcq.Point, 3000)
+	for i := range pts {
+		pts[i] = nwcq.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(i)}
+	}
+	idx, err := nwcq.Build(pts, nwcq.WithBulkLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(idx)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" && resp.StatusCode == 200 {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+type nwcResponse struct {
+	Found bool `json:"found"`
+	Group *struct {
+		Objects []struct {
+			X  float64 `json:"x"`
+			Y  float64 `json:"y"`
+			ID uint64  `json:"id"`
+		} `json:"objects"`
+		Dist   float64 `json:"dist"`
+		Window struct {
+			MinX float64 `json:"min_x"`
+			MaxX float64 `json:"max_x"`
+		} `json:"window"`
+	} `json:"group"`
+	Stats struct {
+		NodeVisits uint64 `json:"node_visits"`
+	} `json:"stats"`
+}
+
+func TestNWCEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var out nwcResponse
+	code := getJSON(t, ts.URL+"/nwc?x=500&y=500&l=100&w=100&n=5", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !out.Found || out.Group == nil {
+		t.Fatal("no result on dense data")
+	}
+	if len(out.Group.Objects) != 5 {
+		t.Fatalf("%d objects", len(out.Group.Objects))
+	}
+	if out.Group.Window.MaxX-out.Group.Window.MinX > 100+1e-9 {
+		t.Error("window too wide")
+	}
+	if out.Stats.NodeVisits == 0 {
+		t.Error("no I/O reported")
+	}
+}
+
+func TestNWCEndpointSchemesAgree(t *testing.T) {
+	_, ts := testServer(t)
+	var base nwcResponse
+	getJSON(t, ts.URL+"/nwc?x=300&y=700&l=80&w=80&n=4&scheme=NWC", &base)
+	for _, scheme := range []string{"SRR", "DIP", "DEP", "IWP", "NWC%2B", "NWC*"} {
+		var out nwcResponse
+		code := getJSON(t, ts.URL+"/nwc?x=300&y=700&l=80&w=80&n=4&scheme="+scheme, &out)
+		if code != 200 {
+			t.Fatalf("scheme %s: status %d", scheme, code)
+		}
+		if out.Found != base.Found || (out.Found && out.Group.Dist != base.Group.Dist) {
+			t.Fatalf("scheme %s disagrees with NWC", scheme)
+		}
+	}
+}
+
+func TestNWCEndpointNotFound(t *testing.T) {
+	_, ts := testServer(t)
+	var out nwcResponse
+	code := getJSON(t, ts.URL+"/nwc?x=500&y=500&l=0.001&w=0.001&n=5", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.Found || out.Group != nil {
+		t.Error("impossible query reported found")
+	}
+}
+
+func TestKNWCEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var out struct {
+		Groups []struct {
+			Dist    float64 `json:"dist"`
+			Objects []struct {
+				ID uint64 `json:"id"`
+			} `json:"objects"`
+		} `json:"groups"`
+	}
+	code := getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=4&k=3&m=1&measure=avg", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Groups) != 3 {
+		t.Fatalf("%d groups", len(out.Groups))
+	}
+	for i := 1; i < len(out.Groups); i++ {
+		if out.Groups[i].Dist < out.Groups[i-1].Dist {
+			t.Error("groups out of order")
+		}
+	}
+}
+
+func TestNearestEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var out []struct {
+		X, Y float64
+		ID   uint64 `json:"id"`
+	}
+	code := getJSON(t, ts.URL+"/nearest?x=500&y=500&k=7", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out) != 7 {
+		t.Fatalf("%d neighbours", len(out))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []string{
+		"/nwc",                                  // missing everything
+		"/nwc?x=1&y=2&l=10&w=10",                // missing n
+		"/nwc?x=abc&y=2&l=10&w=10&n=3",          // bad number
+		"/nwc?x=1&y=2&l=10&w=10&n=0",            // invalid n
+		"/nwc?x=1&y=2&l=10&w=10&n=3&scheme=zzz", // bad scheme
+		"/nwc?x=1&y=2&l=10&w=10&n=3&measure=zz", // bad measure
+		"/knwc?x=1&y=2&l=10&w=10&n=3",           // missing k
+		"/knwc?x=1&y=2&l=10&w=10&n=3&k=2&m=-1",  // bad m
+		"/nearest?x=1&y=2",                      // missing k
+	}
+	for _, c := range cases {
+		var out struct {
+			Error string `json:"error"`
+		}
+		code := getJSON(t, ts.URL+c, &out)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c, code)
+		}
+		if out.Error == "" {
+			t.Errorf("%s: no error message", c)
+		}
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, ts := testServer(t)
+	// Generate some traffic first.
+	var tmp nwcResponse
+	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
+	getJSON(t, ts.URL+"/nwc?bad=1", &struct{ Error string }{})
+
+	var stats map[string]any
+	code := getJSON(t, ts.URL+"/stats", &stats)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if stats["points"].(float64) != 3000 {
+		t.Errorf("points = %v", stats["points"])
+	}
+	if stats["requests_served"].(float64) < 1 {
+		t.Errorf("served = %v", stats["requests_served"])
+	}
+	if stats["requests_failed"].(float64) < 1 {
+		t.Errorf("failed = %v", stats["requests_failed"])
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				url := fmt.Sprintf("%s/nwc?x=%d&y=%d&l=60&w=60&n=4", ts.URL, (g*113+i*37)%1000, (g*59+i*211)%1000)
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if s, err := ParseScheme("nwc+"); err != nil || s != nwcq.SchemeNWCPlus {
+		t.Error("case-insensitive scheme parse failed")
+	}
+	if _, err := ParseMeasure("nope"); err == nil {
+		t.Error("bad measure accepted")
+	}
+	if m, err := ParseMeasure("WINDOW"); err != nil || m != nwcq.WindowDistance {
+		t.Error("case-insensitive measure parse failed")
+	}
+}

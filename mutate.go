@@ -1,0 +1,104 @@
+package nwcq
+
+import (
+	"fmt"
+	"math"
+
+	"nwcq/internal/core"
+	"nwcq/internal/geom"
+	"nwcq/internal/grid"
+	"nwcq/internal/iwp"
+)
+
+// Dynamic maintenance. The paper treats the dataset as static; this
+// file extends the index with Insert and Delete as a practical library
+// feature:
+//
+//   - the R*-tree is updated in place (R* insertion with forced
+//     reinsertion; deletion with condense-and-reinsert);
+//   - the DEP density grid is updated incrementally, or rebuilt over an
+//     enlarged space when a point lands outside it;
+//   - the IWP pointer sets are snapshot structures, so mutations mark
+//     them stale and the next query needing IWP rebuilds them lazily.
+//
+// Mutations must not run concurrently with queries or each other.
+
+// Insert adds one point to the index.
+func (ix *Index) Insert(p Point) error {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return fmt.Errorf("nwcq: point (%g, %g) has non-finite coordinates", p.X, p.Y)
+	}
+	gp := geom.Point{X: p.X, Y: p.Y, ID: p.ID}
+	if err := ix.tree.Insert(gp); err != nil {
+		return err
+	}
+	if err := ix.grid.Add(gp); err != nil {
+		// Outside the grid's space: rebuild over a space covering the
+		// new point (with slack so a trickle of outliers does not cause
+		// repeated rebuilds).
+		if err := ix.rebuildGrid(gp); err != nil {
+			return err
+		}
+	}
+	ix.iwpStale = true
+	return nil
+}
+
+// Delete removes one point (matched by coordinates and ID) and reports
+// whether it was found.
+func (ix *Index) Delete(p Point) (bool, error) {
+	gp := geom.Point{X: p.X, Y: p.Y, ID: p.ID}
+	ok, err := ix.tree.Delete(gp)
+	if err != nil || !ok {
+		return ok, err
+	}
+	if err := ix.grid.Remove(gp); err != nil {
+		return true, err
+	}
+	ix.iwpStale = true
+	return true, nil
+}
+
+// rebuildGrid rebuilds the density grid over a space that covers both
+// the current space and the out-of-space point.
+func (ix *Index) rebuildGrid(extra geom.Point) error {
+	space := ix.grid.Space().ExtendPoint(extra)
+	// Grow by 25% of the span so nearby future outliers fit too.
+	space = space.Buffer(space.Width()/8, space.Height()/8)
+	pts, err := ix.tree.All()
+	if err != nil {
+		return err
+	}
+	den, err := grid.New(space, ix.grid.CellSize(), pts)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(ix.tree, den, ix.iwp)
+	if err != nil {
+		return err
+	}
+	ix.grid = den
+	ix.engine = eng
+	return nil
+}
+
+// ensureIWP rebuilds the IWP pointers if mutations invalidated them.
+// Called on the query path before any scheme that uses IWP runs.
+func (ix *Index) ensureIWP() error {
+	if !ix.iwpStale {
+		return nil
+	}
+	rebuilt, err := iwp.Build(ix.tree)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(ix.tree, ix.grid, rebuilt)
+	if err != nil {
+		return err
+	}
+	ix.iwp = rebuilt
+	ix.engine = eng
+	ix.iwpStale = false
+	ix.tree.ResetVisits()
+	return nil
+}

@@ -1,0 +1,424 @@
+// Package nwcq implements Nearest Window Cluster (NWC) queries over
+// two-dimensional point datasets, reproducing "Nearest Window Cluster
+// Queries" (Huang et al., EDBT 2016).
+//
+// Given a query location q, a window of length l and width w, and an
+// object count n, an NWC query returns the n objects that fit together
+// inside some l × w axis-aligned window such that the distance from q to
+// those objects is minimal over all such windows — "the nearest area
+// with n choices clustered in it". The kNWC extension returns k such
+// groups that pairwise share at most m objects.
+//
+// # Quick start
+//
+//	idx, err := nwcq.Build(points)            // index a []nwcq.Point
+//	res, err := idx.NWC(nwcq.Query{
+//	    X: 312.7, Y: 528.5, Length: 50, Width: 50, N: 8,
+//	})
+//	if res.Found {
+//	    fmt.Println(res.Objects, res.Dist)
+//	}
+//
+// The index is an R*-tree (fan-out 50, one node per 4096-byte page)
+// augmented with a density grid and incremental-window-query pointers;
+// queries run under one of the paper's seven optimisation schemes
+// (SchemeNWCStar, the default, enables all four optimisations). Every
+// query reports its I/O cost as the number of index nodes visited, the
+// paper's performance metric.
+package nwcq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nwcq/internal/core"
+	"nwcq/internal/geom"
+	"nwcq/internal/grid"
+	"nwcq/internal/iwp"
+	"nwcq/internal/rstar"
+)
+
+// Point is a data object: a location and a caller-owned identifier.
+type Point struct {
+	X, Y float64
+	ID   uint64
+}
+
+// Rect is an axis-aligned rectangle, reported with query results.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Measure selects how the distance between the query location and a
+// group of n objects is evaluated (Section 2.1 of the paper).
+type Measure int
+
+const (
+	// MaxDistance is the distance to the farthest of the n objects
+	// (the default).
+	MaxDistance Measure = iota
+	// MinDistance is the distance to the nearest of the n objects.
+	MinDistance
+	// AvgDistance is the mean distance to the n objects.
+	AvgDistance
+	// WindowDistance is the smallest distance from the query location
+	// to any qualifying window containing the n objects.
+	WindowDistance
+)
+
+func (m Measure) internal() (core.Measure, error) {
+	switch m {
+	case MaxDistance:
+		return core.MeasureMax, nil
+	case MinDistance:
+		return core.MeasureMin, nil
+	case AvgDistance:
+		return core.MeasureAvg, nil
+	case WindowDistance:
+		return core.MeasureWindow, nil
+	default:
+		return 0, fmt.Errorf("nwcq: unknown measure %d", int(m))
+	}
+}
+
+// Scheme selects which of the paper's optimisation techniques run a
+// query: SRR (search region reduction), DIP (distance-based pruning),
+// DEP (density-based pruning) and IWP (incremental window query
+// processing).
+type Scheme struct {
+	SRR, DIP, DEP, IWP bool
+}
+
+// The paper's evaluation schemes (Table 3).
+var (
+	SchemeNWC     = Scheme{}
+	SchemeSRR     = Scheme{SRR: true}
+	SchemeDIP     = Scheme{DIP: true}
+	SchemeDEP     = Scheme{DEP: true}
+	SchemeIWP     = Scheme{IWP: true}
+	SchemeNWCPlus = Scheme{SRR: true, DIP: true}
+	SchemeNWCStar = Scheme{SRR: true, DIP: true, DEP: true, IWP: true}
+)
+
+func (s Scheme) internal() core.Scheme {
+	return core.Scheme{SRR: s.SRR, DIP: s.DIP, DEP: s.DEP, IWP: s.IWP}
+}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string { return s.internal().String() }
+
+// Query is an NWC query.
+type Query struct {
+	// X, Y locate the query point q.
+	X, Y float64
+	// Length and Width are the window extents along x and y.
+	Length, Width float64
+	// N is the number of objects to retrieve.
+	N int
+	// Scheme selects the optimisations; the zero value means
+	// SchemeNWCStar (all optimisations on).
+	Scheme *Scheme
+	// Measure selects the distance measure; default MaxDistance.
+	Measure Measure
+}
+
+func (q Query) scheme() Scheme {
+	if q.Scheme == nil {
+		return SchemeNWCStar
+	}
+	return *q.Scheme
+}
+
+// KQuery is a kNWC query: K groups sharing at most M objects pairwise.
+type KQuery struct {
+	Query
+	K int
+	M int
+}
+
+// Stats reports the work one query performed.
+type Stats struct {
+	// NodeVisits is the number of index nodes read — the paper's I/O
+	// cost metric.
+	NodeVisits uint64
+	// ObjectsProcessed counts data objects evaluated as window anchors.
+	ObjectsProcessed int
+	// ObjectsSkipped counts objects skipped by SRR or DEP.
+	ObjectsSkipped int
+	// NodesPruned counts index nodes pruned by DIP or DEP.
+	NodesPruned int
+	// WindowQueries counts window queries issued.
+	WindowQueries int
+	// CandidateWindows and QualifiedWindows count windows evaluated and
+	// windows holding at least N objects.
+	CandidateWindows int
+	QualifiedWindows int
+}
+
+func statsFrom(s core.Stats) Stats {
+	return Stats{
+		NodeVisits:       s.NodeVisits,
+		ObjectsProcessed: s.ObjectsProcessed,
+		ObjectsSkipped:   s.ObjectsSkipped,
+		NodesPruned:      s.NodesPruned,
+		WindowQueries:    s.WindowQueries,
+		CandidateWindows: s.CandidateWindows,
+		QualifiedWindows: s.QualifiedWindows,
+	}
+}
+
+// Group is one answer group: N objects clustered in an l × w window.
+type Group struct {
+	// Objects are ordered by ascending distance to the query point.
+	Objects []Point
+	// Dist is the group's distance under the query's measure.
+	Dist float64
+	// Window is a qualifying window containing the objects.
+	Window Rect
+}
+
+// Result is the answer to an NWC query.
+type Result struct {
+	Group
+	// Found is false when no window of the requested size holds N
+	// objects.
+	Found bool
+	// Stats describes the query's work.
+	Stats Stats
+}
+
+// Index answers NWC and kNWC queries over a fixed point set.
+type Index struct {
+	points  []geom.Point
+	tree    *rstar.Tree
+	grid    *grid.Density
+	iwp     *iwp.Index
+	engine  *core.Engine
+	options buildOptions
+	// iwpStale marks the IWP pointers invalid after Insert/Delete; the
+	// next query needing them rebuilds lazily (see mutate.go).
+	iwpStale bool
+}
+
+type buildOptions struct {
+	maxEntries   int
+	gridCellSize float64
+	bulkLoad     bool
+	space        geom.Rect
+	spaceSet     bool
+}
+
+// BuildOption configures Build.
+type BuildOption func(*buildOptions)
+
+// WithMaxEntries sets the R*-tree fan-out (default 50, the paper's
+// setting; each node occupies one 4096-byte page in paged form).
+func WithMaxEntries(m int) BuildOption {
+	return func(o *buildOptions) { o.maxEntries = m }
+}
+
+// WithGridCellSize sets the density-grid cell side length used by the
+// DEP optimisation (default 25, the paper's setting).
+func WithGridCellSize(s float64) BuildOption {
+	return func(o *buildOptions) { o.gridCellSize = s }
+}
+
+// WithBulkLoad builds the tree by STR packing instead of one-by-one R*
+// insertion — much faster for large static datasets.
+func WithBulkLoad() BuildOption {
+	return func(o *buildOptions) { o.bulkLoad = true }
+}
+
+// WithSpace fixes the object space rectangle for the density grid.
+// By default the space is the bounding box of the points, slightly
+// padded.
+func WithSpace(minX, minY, maxX, maxY float64) BuildOption {
+	return func(o *buildOptions) {
+		o.space = geom.NewRect(minX, minY, maxX, maxY)
+		o.spaceSet = true
+	}
+}
+
+// Build indexes points and prepares every substrate (R*-tree, density
+// grid, IWP pointers) so any scheme can run. The point set is static;
+// rebuild the index to change it.
+func Build(points []Point, opts ...BuildOption) (*Index, error) {
+	o := buildOptions{maxEntries: 50, gridCellSize: 25}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	gpts := make([]geom.Point, len(points))
+	for i, p := range points {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("nwcq: point %d has non-finite coordinates", i)
+		}
+		gpts[i] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+
+	tree, err := rstar.New(rstar.NewMemStore(), rstar.Options{MaxEntries: o.maxEntries})
+	if err != nil {
+		return nil, err
+	}
+	if o.bulkLoad {
+		if err := tree.BulkLoad(gpts); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, p := range gpts {
+			if err := tree.Insert(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	space := o.space
+	if !o.spaceSet {
+		space = geom.EmptyRect()
+		for _, p := range gpts {
+			space = space.ExtendPoint(p)
+		}
+		if space.IsEmpty() {
+			space = geom.NewRect(0, 0, 1, 1)
+		}
+		// Pad degenerate extents so the grid constructor accepts them.
+		if space.Width() <= 0 || space.Height() <= 0 {
+			space = space.Buffer(1, 1)
+		}
+	} else {
+		for i, p := range gpts {
+			if !space.ContainsPoint(p) {
+				return nil, fmt.Errorf("nwcq: point %d at (%g, %g) outside the configured space", i, p.X, p.Y)
+			}
+		}
+	}
+	den, err := grid.New(space, o.gridCellSize, gpts)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := iwp.Build(tree)
+	if err != nil {
+		return nil, err
+	}
+	tree.ResetVisits()
+	engine, err := core.NewEngine(tree, den, ix)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// TreeHeight returns the R*-tree height in levels.
+func (ix *Index) TreeHeight() int { return ix.tree.Height() }
+
+// StorageOverheadBytes reports the extra storage of the DEP density
+// grid and the IWP pointers, using the paper's accounting (two bytes
+// per grid cell, four bytes per pointer).
+func (ix *Index) StorageOverheadBytes() (gridBytes, iwpBytes int) {
+	return ix.grid.StorageBytes(), ix.iwp.StorageBytes()
+}
+
+// NWC answers an NWC query.
+func (ix *Index) NWC(q Query) (Result, error) {
+	measure, err := q.Measure.internal()
+	if err != nil {
+		return Result{}, err
+	}
+	if q.scheme().IWP {
+		if err := ix.ensureIWP(); err != nil {
+			return Result{}, err
+		}
+	}
+	res, st, err := ix.engine.NWC(core.Query{
+		Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N,
+	}, q.scheme().internal(), measure)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Found: res.Found, Stats: statsFrom(st)}
+	if res.Found {
+		out.Group = groupFrom(res.Group)
+	}
+	return out, nil
+}
+
+// KNWC answers a kNWC query, returning up to K groups ordered by
+// ascending distance, pairwise sharing at most M objects.
+func (ix *Index) KNWC(q KQuery) ([]Group, Stats, error) {
+	measure, err := q.Measure.internal()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if q.scheme().IWP {
+		if err := ix.ensureIWP(); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	groups, st, err := ix.engine.KNWC(core.KNWCQuery{
+		Query: core.Query{Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N},
+		K:     q.K, M: q.M,
+	}, q.scheme().internal(), measure)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Group, len(groups))
+	for i, g := range groups {
+		out[i] = groupFrom(g)
+	}
+	return out, statsFrom(st), nil
+}
+
+// Window runs a plain window (range) query, returning the points inside
+// the rectangle.
+func (ix *Index) Window(minX, minY, maxX, maxY float64) ([]Point, error) {
+	if math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
+		return nil, errors.New("nwcq: NaN window bound")
+	}
+	pts, err := ix.tree.SearchCollect(geom.NewRect(minX, minY, maxX, maxY))
+	if err != nil {
+		return nil, err
+	}
+	return pointsFrom(pts), nil
+}
+
+// Nearest returns the k indexed points nearest to (x, y) in ascending
+// distance order.
+func (ix *Index) Nearest(x, y float64, k int) ([]Point, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("nwcq: k = %d must be at least 1", k)
+	}
+	pts, err := ix.tree.NearestK(geom.Point{X: x, Y: y}, k)
+	if err != nil {
+		return nil, err
+	}
+	return pointsFrom(pts), nil
+}
+
+// ResetIOStats zeroes the index-wide node-visit counter (per-query
+// counts in Stats are deltas and unaffected).
+func (ix *Index) ResetIOStats() { ix.tree.ResetVisits() }
+
+// IOStats returns the cumulative node visits since the index was built
+// or ResetIOStats was called.
+func (ix *Index) IOStats() uint64 { return ix.tree.Visits() }
+
+func groupFrom(g core.Group) Group {
+	return Group{
+		Objects: pointsFrom(g.Objects),
+		Dist:    g.Dist,
+		Window:  Rect{MinX: g.Window.MinX, MinY: g.Window.MinY, MaxX: g.Window.MaxX, MaxY: g.Window.MaxY},
+	}
+}
+
+func pointsFrom(pts []geom.Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package nwcq
+
+import (
+	"fmt"
+	"os"
+
+	"nwcq/internal/core"
+	"nwcq/internal/geom"
+	"nwcq/internal/grid"
+	"nwcq/internal/iwp"
+	"nwcq/internal/pager"
+	"nwcq/internal/rstar"
+)
+
+// PagedIndex is an Index whose R*-tree nodes live on 4096-byte pages in
+// a file, one node per page — the disk-oriented form the paper's I/O
+// accounting assumes. Every page is checksummed (CRC-32) and reads go
+// through an LRU buffer pool.
+//
+// The density grid and IWP pointers are derived structures; they are
+// rebuilt when the file is opened.
+type PagedIndex struct {
+	Index
+	pages *pager.Store
+	file  *os.File
+}
+
+// PageStats mirrors the pager's physical operation counters.
+type PageStats struct {
+	Reads     uint64
+	Writes    uint64
+	CacheHits uint64
+}
+
+// pagedOptions extends buildOptions with the buffer-pool size.
+const defaultPageCache = 256
+
+// BuildPaged indexes points into a page file at path (created or
+// truncated), persists the tree, and returns a queryable index. Close
+// it to release the file.
+func BuildPaged(points []Point, path string, opts ...BuildOption) (*PagedIndex, error) {
+	o := buildOptions{maxEntries: 50, gridCellSize: 25}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.maxEntries > rstar.MaxPagedEntries() {
+		return nil, fmt.Errorf("nwcq: fan-out %d exceeds page capacity %d", o.maxEntries, rstar.MaxPagedEntries())
+	}
+	pages, f, err := pager.CreateFile(path, pager.Options{CacheSize: defaultPageCache})
+	if err != nil {
+		return nil, err
+	}
+	store := rstar.NewPagedStore(pages)
+	tree, err := rstar.New(store, rstar.Options{MaxEntries: o.maxEntries})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	gpts := make([]geom.Point, len(points))
+	for i, p := range points {
+		gpts[i] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	if o.bulkLoad {
+		err = tree.BulkLoad(gpts)
+	} else {
+		for _, p := range gpts {
+			if err = tree.Insert(p); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := pages.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	px, err := finishPaged(tree, gpts, o, pages, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return px, nil
+}
+
+// OpenPaged reopens an index file written by BuildPaged. Build options
+// other than the grid cell size are read from the file; the derived
+// structures (density grid, IWP pointers) are rebuilt.
+func OpenPaged(path string, opts ...BuildOption) (*PagedIndex, error) {
+	o := buildOptions{maxEntries: 50, gridCellSize: 25}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pages, f, err := pager.OpenFile(path, pager.Options{CacheSize: defaultPageCache})
+	if err != nil {
+		return nil, err
+	}
+	store := rstar.NewPagedStore(pages)
+	tree, err := rstar.Attach(store, rstar.Options{MaxEntries: o.maxEntries})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	gpts, err := tree.All()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	px, err := finishPaged(tree, gpts, o, pages, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return px, nil
+}
+
+func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pager.Store, f *os.File) (*PagedIndex, error) {
+	space := o.space
+	if !o.spaceSet {
+		space = geom.EmptyRect()
+		for _, p := range gpts {
+			space = space.ExtendPoint(p)
+		}
+		if space.IsEmpty() {
+			space = geom.NewRect(0, 0, 1, 1)
+		}
+		if space.Width() <= 0 || space.Height() <= 0 {
+			space = space.Buffer(1, 1)
+		}
+	}
+	den, err := grid.New(space, o.gridCellSize, gpts)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := iwp.Build(tree)
+	if err != nil {
+		return nil, err
+	}
+	tree.ResetVisits()
+	engine, err := core.NewEngine(tree, den, ix)
+	if err != nil {
+		return nil, err
+	}
+	return &PagedIndex{
+		Index: Index{points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o},
+		pages: pages,
+		file:  f,
+	}, nil
+}
+
+// PageStats returns the physical page-operation counters.
+func (p *PagedIndex) PageStats() PageStats {
+	st := p.pages.Stats()
+	return PageStats{Reads: st.Reads, Writes: st.Writes, CacheHits: st.CacheHits}
+}
+
+// Sync flushes index metadata to the file.
+func (p *PagedIndex) Sync() error { return p.pages.Sync() }
+
+// Close syncs and releases the underlying file. The index must not be
+// used afterwards.
+func (p *PagedIndex) Close() error {
+	if err := p.pages.Sync(); err != nil {
+		p.file.Close()
+		return err
+	}
+	return p.file.Close()
+}

@@ -1,0 +1,100 @@
+package nwcq
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestPagedBuildQueryReopen(t *testing.T) {
+	pts := testPoints(3000, 10)
+	path := filepath.Join(t.TempDir(), "index.nwcq")
+
+	px, err := BuildPaged(pts, path, WithBulkLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 400, Y: 600, Length: 70, Width: 70, N: 5}
+	want, err := px.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Found {
+		t.Fatal("paged query found nothing")
+	}
+	if st := px.PageStats(); st.Writes == 0 {
+		t.Error("no pages written")
+	}
+	if err := px.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPaged(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(pts) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(pts))
+	}
+	got, err := re.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || math.Abs(got.Dist-want.Dist) > 1e-9 {
+		t.Fatalf("reopened dist %g, want %g", got.Dist, want.Dist)
+	}
+	// The paged index agrees with the in-memory one exactly, including
+	// the paper's I/O metric.
+	mem, err := Build(pts, WithBulkLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRes, err := mem.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(memRes.Dist-got.Dist) > 1e-9 {
+		t.Fatalf("paged dist %g, mem dist %g", got.Dist, memRes.Dist)
+	}
+	if memRes.Stats.NodeVisits != got.Stats.NodeVisits {
+		t.Fatalf("paged visits %d, mem visits %d", got.Stats.NodeVisits, memRes.Stats.NodeVisits)
+	}
+}
+
+func TestPagedInsertionBuild(t *testing.T) {
+	pts := testPoints(800, 11)
+	path := filepath.Join(t.TempDir(), "ins.nwcq")
+	px, err := BuildPaged(pts, path) // one-by-one R* insertion
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	res, err := px.NWC(Query{X: 500, Y: 500, Length: 120, Width: 120, N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("nothing found")
+	}
+	groups, _, err := px.KNWC(KQuery{Query: Query{X: 500, Y: 500, Length: 120, Width: 120, N: 4}, K: 2, M: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Error("paged kNWC empty")
+	}
+}
+
+func TestPagedFanoutValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.nwcq")
+	if _, err := BuildPaged(nil, path, WithMaxEntries(10000)); err == nil {
+		t.Error("oversized fan-out accepted for paged build")
+	}
+}
+
+func TestOpenPagedMissingFile(t *testing.T) {
+	if _, err := OpenPaged(filepath.Join(t.TempDir(), "absent.nwcq")); err == nil {
+		t.Error("opening a missing file succeeded")
+	}
+}
