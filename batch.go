@@ -1,6 +1,7 @@
 package nwcq
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,12 +9,9 @@ import (
 
 // Batch execution. A built index is safe for concurrent reads, so
 // independent queries parallelise perfectly; this file provides the
-// fan-out boilerplate. Results are returned in input order.
-//
-// Note on statistics: the per-result Stats.NodeVisits of concurrent
-// queries are deltas of a shared counter and may bleed into each other;
-// the index-wide IOStats total remains exact. Run queries sequentially
-// (parallelism 1) when per-query I/O accounting matters.
+// fan-out boilerplate. Results are returned in input order, and every
+// result's Stats is exact for its own query — per-query accounting is
+// carried on query-private counters, never shared between workers.
 
 // BatchOptions configures batch execution.
 type BatchOptions struct {
@@ -32,19 +30,19 @@ func (o BatchOptions) workers() int {
 // NWCBatch answers many NWC queries concurrently. The i-th result
 // corresponds to queries[i]. The first error aborts the batch.
 func (ix *Index) NWCBatch(queries []Query, opt BatchOptions) ([]Result, error) {
-	// IWP rebuilds are not concurrency-safe; settle staleness up front
-	// when any query will take the IWP path.
-	for _, q := range queries {
-		if q.scheme().IWP {
-			if err := ix.ensureIWP(); err != nil {
-				return nil, err
-			}
-			break
-		}
+	return ix.NWCBatchCtx(context.Background(), queries, opt)
+}
+
+// NWCBatchCtx is NWCBatch under a context: every query in the batch
+// runs under ctx, so cancellation aborts the whole batch with the
+// context's error.
+func (ix *Index) NWCBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) ([]Result, error) {
+	if err := ix.settleIWPForBatch(queries); err != nil {
+		return nil, err
 	}
 	results := make([]Result, len(queries))
 	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
-		res, err := ix.NWC(queries[i])
+		res, err := ix.NWCCtx(ctx, queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
@@ -57,29 +55,47 @@ func (ix *Index) NWCBatch(queries []Query, opt BatchOptions) ([]Result, error) {
 	return results, nil
 }
 
-// KNWCBatch answers many kNWC queries concurrently.
-func (ix *Index) KNWCBatch(queries []KQuery, opt BatchOptions) ([][]Group, error) {
-	for _, q := range queries {
-		if q.scheme().IWP {
-			if err := ix.ensureIWP(); err != nil {
-				return nil, err
-			}
-			break
-		}
+// KNWCBatch answers many kNWC queries concurrently. The i-th result
+// corresponds to queries[i]. The first error aborts the batch.
+func (ix *Index) KNWCBatch(queries []KQuery, opt BatchOptions) ([]KResult, error) {
+	return ix.KNWCBatchCtx(context.Background(), queries, opt)
+}
+
+// KNWCBatchCtx is KNWCBatch under a context, with NWCBatchCtx's
+// cancellation semantics.
+func (ix *Index) KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOptions) ([]KResult, error) {
+	kq := make([]Query, len(queries))
+	for i, q := range queries {
+		kq[i] = q.Query
 	}
-	results := make([][]Group, len(queries))
+	if err := ix.settleIWPForBatch(kq); err != nil {
+		return nil, err
+	}
+	results := make([]KResult, len(queries))
 	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
-		groups, _, err := ix.KNWC(queries[i])
+		res, err := ix.KNWCCtx(ctx, queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
-		results[i] = groups
+		results[i] = res
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// settleIWPForBatch resolves IWP staleness before workers start: the
+// lazy rebuild is not concurrency-safe, so it must happen up front when
+// any query in the batch will take the IWP path.
+func (ix *Index) settleIWPForBatch(queries []Query) error {
+	for _, q := range queries {
+		if q.Scheme.internal().IWP {
+			return ix.ensureIWP()
+		}
+	}
+	return nil
 }
 
 // forEachIndexed runs fn(0..n-1) over a bounded worker pool, returning

@@ -101,12 +101,12 @@ func TestKNWCBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(batch[i]) != len(seq) {
-			t.Fatalf("query %d: batch %d groups, sequential %d", i, len(batch[i]), len(seq))
+		if len(batch[i].Groups) != len(seq) {
+			t.Fatalf("query %d: batch %d groups, sequential %d", i, len(batch[i].Groups), len(seq))
 		}
 		for j := range seq {
-			if math.Abs(batch[i][j].Dist-seq[j].Dist) > 1e-9 {
-				t.Fatalf("query %d group %d: dist %g vs %g", i, j, batch[i][j].Dist, seq[j].Dist)
+			if math.Abs(batch[i].Groups[j].Dist-seq[j].Dist) > 1e-9 {
+				t.Fatalf("query %d group %d: dist %g vs %g", i, j, batch[i].Groups[j].Dist, seq[j].Dist)
 			}
 		}
 	}
@@ -120,10 +120,9 @@ func TestBatchAfterMutationRebuildsIWPOnce(t *testing.T) {
 	if err := idx.Insert(Point{X: 1, Y: 1, ID: 9999}); err != nil {
 		t.Fatal(err)
 	}
-	scheme := SchemeNWCStar
 	queries := make([]Query, 8)
 	for i := range queries {
-		queries[i] = Query{X: 500, Y: 500, Length: 60, Width: 60, N: 3, Scheme: &scheme}
+		queries[i] = Query{X: 500, Y: 500, Length: 60, Width: 60, N: 3, Scheme: SchemeNWCStar}
 	}
 	// Must not race on the lazy IWP rebuild (run with -race).
 	if _, err := idx.NWCBatch(queries, BatchOptions{Parallelism: 8}); err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,7 +70,7 @@ func main() {
 	}
 	fmt.Printf("indexed %d points (tree height %d)\n", idx.Len(), idx.TreeHeight())
 
-	q := nwcq.Query{X: *x, Y: *y, Length: *l, Width: *w, N: *n, Scheme: &sch, Measure: meas}
+	q := nwcq.Query{X: *x, Y: *y, Length: *l, Width: *w, N: *n, Scheme: sch, Measure: meas}
 	if *k <= 1 {
 		res, err := idx.NWC(q)
 		if err != nil {
@@ -83,18 +84,18 @@ func main() {
 		printStats(res.Stats)
 		return
 	}
-	groups, st, err := idx.KNWC(nwcq.KQuery{Query: q, K: *k, M: *m})
+	res, err := idx.KNWCCtx(context.Background(), nwcq.KQuery{Query: q, K: *k, M: *m})
 	if err != nil {
 		fatal(err)
 	}
-	if len(groups) == 0 {
+	if !res.Found {
 		fmt.Println("no qualified window found")
 		return
 	}
-	for i, g := range groups {
+	for i, g := range res.Groups {
 		printGroup(g, i+1)
 	}
-	printStats(st)
+	printStats(res.Stats)
 }
 
 func printGroup(g nwcq.Group, rank int) {

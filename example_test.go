@@ -73,14 +73,12 @@ func ExampleScheme() {
 	}
 	q := nwcq.Query{X: 500, Y: 500, Length: 60, Width: 60, N: 6}
 
-	plain := nwcq.SchemeNWC
-	q.Scheme = &plain
+	q.Scheme = nwcq.SchemeNWC
 	slow, err := idx.NWC(q)
 	if err != nil {
 		panic(err)
 	}
-	fast := nwcq.SchemeNWCStar
-	q.Scheme = &fast
+	q.Scheme = nwcq.SchemeNWCStar
 	quick, err := idx.NWC(q)
 	if err != nil {
 		panic(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -64,12 +65,11 @@ func main() {
 		{"kNWC*", nwcq.SchemeNWCStar},
 	} {
 		q := base
-		scheme := sc.scheme
-		q.Scheme = &scheme
-		groups, st, err := idx.KNWC(nwcq.KQuery{Query: q, K: 8, M: 2})
+		q.Scheme = sc.scheme
+		res, err := idx.KNWCCtx(context.Background(), nwcq.KQuery{Query: q, K: 8, M: 2})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-6s %5d node visits, %d groups found\n", sc.name, st.NodeVisits, len(groups))
+		fmt.Printf("  %-6s %5d node visits, %d groups found\n", sc.name, res.Stats.NodeVisits, len(res.Groups))
 	}
 }

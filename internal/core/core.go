@@ -188,6 +188,11 @@ func (g Group) overlapCount(o Group) int {
 
 // Stats describes the work one query performed. NodeVisits is the
 // paper's performance metric: the number of R*-tree nodes read.
+//
+// Every field is accumulated on a carrier private to the query (the
+// traversal threads a *Stats through the whole read path, and node
+// visits are counted by a per-query tree Reader), so concurrent queries
+// never bleed into each other's numbers.
 type Stats struct {
 	NodeVisits       uint64 // R*-tree nodes visited (the paper's I/O cost)
 	ObjectsProcessed int    // objects popped and evaluated
@@ -196,14 +201,15 @@ type Stats struct {
 	WindowQueries    int    // window queries issued
 	CandidateWindows int    // candidate windows evaluated
 	QualifiedWindows int    // candidate windows that were qualified
+	GridProbes       int    // density-grid upper-bound probes issued by DEP
 }
 
 // String renders the stats as a one-line explain summary.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"io=%d nodes; objects=%d (skipped %d), pruned=%d nodes, window-queries=%d, windows=%d/%d qualified",
+		"io=%d nodes; objects=%d (skipped %d), pruned=%d nodes, window-queries=%d, windows=%d/%d qualified, grid-probes=%d",
 		s.NodeVisits, s.ObjectsProcessed, s.ObjectsSkipped, s.NodesPruned,
-		s.WindowQueries, s.QualifiedWindows, s.CandidateWindows)
+		s.WindowQueries, s.QualifiedWindows, s.CandidateWindows, s.GridProbes)
 }
 
 // Engine executes NWC and kNWC queries against one dataset snapshot.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"slices"
 
@@ -16,13 +17,23 @@ type Result struct {
 	Found bool
 }
 
-// NWC answers query qy with the given scheme and measure. It implements
-// Algorithm 1: a best-first traversal of the R*-tree visits objects in
-// ascending distance from q; each object generates its search region and
-// a window query; every candidate window found is checked against the
-// best group so far; optimisations prune nodes, objects and window
-// queries as enabled by the scheme.
+// NWC answers query qy with the given scheme and measure under no
+// cancellation. It is shorthand for NWCCtx with a background context.
 func (e *Engine) NWC(qy Query, scheme Scheme, measure Measure) (Result, Stats, error) {
+	return e.NWCCtx(context.Background(), qy, scheme, measure)
+}
+
+// NWCCtx answers query qy with the given scheme and measure. It
+// implements Algorithm 1: a best-first traversal of the R*-tree visits
+// objects in ascending distance from q; each object generates its
+// search region and a window query; every candidate window found is
+// checked against the best group so far; optimisations prune nodes,
+// objects and window queries as enabled by the scheme.
+//
+// The context is consulted at node-visit granularity: once ctx is done
+// the traversal stops and the context's error is returned, along with
+// the stats accumulated so far.
+func (e *Engine) NWCCtx(ctx context.Context, qy Query, scheme Scheme, measure Measure) (Result, Stats, error) {
 	if err := qy.Validate(); err != nil {
 		return Result{}, Stats{}, err
 	}
@@ -34,7 +45,7 @@ func (e *Engine) NWC(qy Query, scheme Scheme, measure Measure) (Result, Stats, e
 	}
 	best := Group{Dist: math.Inf(1)}
 	found := false
-	stats, err := e.search(qy, scheme,
+	stats, err := e.search(ctx, qy, scheme,
 		func() float64 { return best.Dist },
 		func(g Group) {
 			if g.Dist < best.Dist {
@@ -111,16 +122,24 @@ func (pq *pqueue) pop() pqItem {
 // pruning distance (the distance of the best group for NWC, of the k-th
 // group for kNWC, +Inf while unset); emit receives every candidate group
 // that passes the window-level MINDIST check, in discovery order.
-func (e *Engine) search(qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure) (Stats, error) {
+//
+// All accounting goes onto the returned Stats, a carrier owned by this
+// one query: node visits are counted by a per-query tree Reader (which
+// also keeps the index-wide cumulative atomic total exact), so
+// concurrent searches never share a mutable counter. The reader also
+// checks ctx before every node read, giving cancellation at node-visit
+// granularity.
+func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure) (Stats, error) {
 	var st Stats
 	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
-	startVisits := e.tree.Visits()
+	r := e.tree.Reader(ctx, &st.NodeVisits)
 
 	var pq pqueue
-	rootMBR, err := e.tree.MBR()
+	root, err := r.Node(e.tree.Root())
 	if err != nil {
 		return st, err
 	}
+	rootMBR := root.MBR()
 	pq.push(pqItem{dist2: rootMBR.MinDist2(q), isNode: true, id: e.tree.Root(), mbr: rootMBR})
 
 	// Window-query result buffer, reused across objects.
@@ -142,11 +161,14 @@ func (e *Engine) search(qy Query, scheme Scheme, bound func() float64, emit func
 			// every window its objects can generate; if the density grid
 			// bounds the extended region's population below n, no object
 			// inside can generate a qualified window.
-			if scheme.DEP && e.density.PrunesRect(geom.ExtendMBR(q, it.mbr, l, w), n) {
-				st.NodesPruned++
-				continue
+			if scheme.DEP {
+				st.GridProbes++
+				if e.density.PrunesRect(geom.ExtendMBR(q, it.mbr, l, w), n) {
+					st.NodesPruned++
+					continue
+				}
 			}
-			node, err := e.tree.Node(it.id)
+			node, err := r.Node(it.id)
 			if err != nil {
 				return st, err
 			}
@@ -179,9 +201,12 @@ func (e *Engine) search(qy Query, scheme Scheme, bound func() float64, emit func
 		}
 		// DEP window-query cancellation: a search region that cannot
 		// hold n objects generates no qualified window.
-		if scheme.DEP && e.density.PrunesRect(sr, n) {
-			st.ObjectsSkipped++
-			continue
+		if scheme.DEP {
+			st.GridProbes++
+			if e.density.PrunesRect(sr, n) {
+				st.ObjectsSkipped++
+				continue
+			}
 		}
 		st.WindowQueries++
 		buf = buf[:0]
@@ -190,16 +215,15 @@ func (e *Engine) search(qy Query, scheme Scheme, bound func() float64, emit func
 			return true
 		}
 		if scheme.IWP {
-			err = e.iwpIdx.WindowQuery(it.id, sr, collect)
+			err = e.iwpIdx.WindowQuery(r, it.id, sr, collect)
 		} else {
-			err = e.tree.Search(sr, collect)
+			err = r.Search(sr, collect)
 		}
 		if err != nil {
 			return st, err
 		}
 		e.evaluateWindows(qy, p, buf, measure, bound, emit, &st)
 	}
-	st.NodeVisits = e.tree.Visits() - startVisits
 	return st, nil
 }
 

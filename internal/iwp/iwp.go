@@ -257,13 +257,15 @@ func (ix *Index) NumOverlap() int { return ix.numOverlap }
 // 4-bytes-per-pointer accounting (Section 5.2).
 func (ix *Index) StorageBytes() int { return (ix.numBackward + ix.numOverlap) * 4 }
 
-// WindowQuery runs Algorithm 3: a window query for rect on behalf of an
-// object stored in leaf, starting from the lowest backward-pointer
-// target whose MBR covers rect (plus that target's overlapping nodes
-// intersecting rect). fn is invoked once per matching point; returning
-// false stops the query. Node accesses are counted by the tree's store
-// exactly as for traditional queries.
-func (ix *Index) WindowQuery(leaf rstar.NodeID, rect geom.Rect, fn func(geom.Point) bool) error {
+// WindowQuery runs Algorithm 3 through a tree Reader: a window query
+// for rect on behalf of an object stored in leaf, starting from the
+// lowest backward-pointer target whose MBR covers rect (plus that
+// target's overlapping nodes intersecting rect). fn is invoked once per
+// matching point; returning false stops the query. Node accesses are
+// counted on the reader's per-query counter and the tree's cumulative
+// counter, and the reader's context cancels the query at node-visit
+// granularity.
+func (ix *Index) WindowQuery(r rstar.Reader, leaf rstar.NodeID, rect geom.Rect, fn func(geom.Point) bool) error {
 	if rect.IsEmpty() {
 		return nil
 	}
@@ -283,7 +285,7 @@ func (ix *Index) WindowQuery(leaf rstar.NodeID, rect geom.Rect, fn func(geom.Poi
 	if !covered {
 		// Not even the root MBR covers rect (search regions may stick out
 		// of the data space); searching from the root alone is complete.
-		_, err := ix.tree.SearchFrom(ix.rootID, rect, fn)
+		_, err := r.SearchFrom(ix.rootID, rect, fn)
 		return err
 	}
 	stop := false
@@ -294,7 +296,7 @@ func (ix *Index) WindowQuery(leaf rstar.NodeID, rect geom.Rect, fn func(geom.Poi
 		}
 		return true
 	}
-	if _, err := ix.tree.SearchFrom(start.Node, rect, wrapped); err != nil {
+	if _, err := r.SearchFrom(start.Node, rect, wrapped); err != nil {
 		return err
 	}
 	if stop || start.Node == ix.rootID {
@@ -304,7 +306,7 @@ func (ix *Index) WindowQuery(leaf rstar.NodeID, rect geom.Rect, fn func(geom.Poi
 		if !ov.MBR.Intersects(rect) {
 			continue
 		}
-		if _, err := ix.tree.SearchFrom(ov.Node, rect, wrapped); err != nil {
+		if _, err := r.SearchFrom(ov.Node, rect, wrapped); err != nil {
 			return err
 		}
 		if stop {
@@ -314,10 +316,11 @@ func (ix *Index) WindowQuery(leaf rstar.NodeID, rect geom.Rect, fn func(geom.Poi
 	return nil
 }
 
-// WindowCollect runs WindowQuery and returns the matching points.
+// WindowCollect runs WindowQuery with a plain (uncounted, uncancelled)
+// reader and returns the matching points.
 func (ix *Index) WindowCollect(leaf rstar.NodeID, rect geom.Rect) ([]geom.Point, error) {
 	var out []geom.Point
-	err := ix.WindowQuery(leaf, rect, func(p geom.Point) bool {
+	err := ix.WindowQuery(ix.tree.Reader(nil, nil), leaf, rect, func(p geom.Point) bool {
 		out = append(out, p)
 		return true
 	})

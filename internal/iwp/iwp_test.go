@@ -368,7 +368,7 @@ func TestWindowQueryEarlyStop(t *testing.T) {
 	}
 	_, leaf, _, _ := tr.NewNNIterator(geom.Point{X: 500, Y: 500}).Next()
 	n := 0
-	err = ix.WindowQuery(leaf, geom.NewRect(0, 0, 1000, 1000), func(geom.Point) bool {
+	err = ix.WindowQuery(tr.Reader(nil, nil), leaf, geom.NewRect(0, 0, 1000, 1000), func(geom.Point) bool {
 		n++
 		return n < 5
 	})
@@ -388,7 +388,7 @@ func TestEmptyRectNoOp(t *testing.T) {
 	}
 	_, leaf, _, _ := tr.NewNNIterator(geom.Point{}).Next()
 	tr.ResetVisits()
-	if err := ix.WindowQuery(leaf, geom.EmptyRect(), func(geom.Point) bool { return true }); err != nil {
+	if err := ix.WindowQuery(tr.Reader(nil, nil), leaf, geom.EmptyRect(), func(geom.Point) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Visits() != 0 {
@@ -402,7 +402,7 @@ func TestStaleLeafRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = ix.WindowQuery(rstar.NodeID(9999), geom.NewRect(0, 0, 1, 1), func(geom.Point) bool { return true })
+	err = ix.WindowQuery(tr.Reader(nil, nil), rstar.NodeID(9999), geom.NewRect(0, 0, 1, 1), func(geom.Point) bool { return true })
 	if err == nil {
 		t.Error("unknown leaf accepted")
 	}

@@ -11,11 +11,16 @@ import (
 // Hjaltason and Samet. The NWC algorithm's outer loop is exactly such a
 // traversal, so the iterator also reports the leaf each point came from —
 // the hook IWP needs for its backward pointers.
+//
+// An iterator built from a Reader inherits the reader's context and
+// per-query visit accounting: every node it expands counts on the
+// query's own Stats and a cancelled context stops the enumeration with
+// the context's error.
 type NNIterator struct {
-	tree *Tree
-	q    geom.Point
-	pq   nnHeap
-	err  error
+	r   Reader
+	q   geom.Point
+	pq  nnHeap
+	err error
 }
 
 // nnItem is a heap element: either an unexpanded node or a point pulled
@@ -41,15 +46,22 @@ func (h *nnHeap) Pop() interface{} {
 	return it
 }
 
-// NewNNIterator starts a distance-ordered enumeration from q.
+// NewNNIterator starts a distance-ordered enumeration from q with no
+// cancellation and cumulative-only accounting.
 func (t *Tree) NewNNIterator(q geom.Point) *NNIterator {
-	it := &NNIterator{tree: t, q: q}
-	root, err := t.store.Get(t.root)
+	return t.Reader(nil, nil).NNIterator(q)
+}
+
+// NNIterator starts a distance-ordered enumeration from q under the
+// reader's context and per-query accounting.
+func (r Reader) NNIterator(q geom.Point) *NNIterator {
+	it := &NNIterator{r: r, q: q}
+	root, err := r.Node(r.t.root)
 	if err != nil {
 		it.err = err
 		return it
 	}
-	it.pq = nnHeap{{dist2: root.MBR().MinDist2(q), node: t.root}}
+	it.pq = nnHeap{{dist2: root.MBR().MinDist2(q), node: r.t.root}}
 	heap.Init(&it.pq)
 	return it
 }
@@ -66,7 +78,7 @@ func (it *NNIterator) Next() (p geom.Point, leaf NodeID, dist2 float64, ok bool)
 		if item.node == InvalidNode {
 			return item.point, item.leaf, item.dist2, true
 		}
-		node, err := it.tree.store.Get(item.node)
+		node, err := it.r.Node(item.node)
 		if err != nil {
 			it.err = err
 			return geom.Point{}, InvalidNode, 0, false
@@ -94,20 +106,12 @@ func (it *NNIterator) PeekDist2() (float64, bool) {
 	return it.pq[0].dist2, true
 }
 
-// Err reports a store error encountered during iteration, if any.
+// Err reports a store or context error encountered during iteration, if
+// any.
 func (it *NNIterator) Err() error { return it.err }
 
 // NearestK returns the k points nearest to q in ascending distance order
 // (fewer if the tree holds fewer points).
 func (t *Tree) NearestK(q geom.Point, k int) ([]geom.Point, error) {
-	it := t.NewNNIterator(q)
-	out := make([]geom.Point, 0, k)
-	for len(out) < k {
-		p, _, _, ok := it.Next()
-		if !ok {
-			break
-		}
-		out = append(out, p)
-	}
-	return out, it.Err()
+	return t.Reader(nil, nil).NearestK(q, k)
 }

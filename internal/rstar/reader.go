@@ -1,0 +1,121 @@
+package rstar
+
+import (
+	"context"
+
+	"nwcq/internal/geom"
+)
+
+// Reader is a read handle over a Tree that gives one query private,
+// concurrency-correct accounting and cooperative cancellation.
+//
+// Every node access through a Reader does three things:
+//
+//  1. checks the reader's context (so a cancelled or expired context
+//     aborts a traversal at node-visit granularity),
+//  2. increments the reader's per-query visit counter — a plain local
+//     counter owned by exactly one query, never shared, and
+//  3. increments the store's cumulative atomic counter (the index-wide
+//     total behind Tree.Visits).
+//
+// Concurrent queries therefore each observe their exact own I/O cost
+// while the cumulative total stays exact too; nothing on the read path
+// takes a lock. A Reader is a small value, cheap to copy, and is not
+// safe for use by multiple goroutines at once (each query builds its
+// own).
+type Reader struct {
+	t      *Tree
+	ctx    context.Context
+	visits *uint64
+}
+
+// Reader returns a read handle for one query. ctx may be nil, meaning
+// no cancellation; visits may be nil, meaning no per-query accounting.
+func (t *Tree) Reader(ctx context.Context, visits *uint64) Reader {
+	return Reader{t: t, ctx: ctx, visits: visits}
+}
+
+// Tree returns the tree this reader reads.
+func (r Reader) Tree() *Tree { return r.t }
+
+// Node fetches a node by id. It counts one visit on both the per-query
+// counter and the store's cumulative counter, and fails with the
+// context's error once the reader's context is done.
+func (r Reader) Node(id NodeID) (*Node, error) {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	n, err := r.t.store.Get(id)
+	if err == nil && r.visits != nil {
+		*r.visits++
+	}
+	return n, err
+}
+
+// Search performs a window (range) query: fn is called for every
+// indexed point inside rect (closed boundaries). fn returning false
+// stops the search early.
+func (r Reader) Search(rect geom.Rect, fn func(p geom.Point) bool) error {
+	_, err := r.SearchFrom(r.t.root, rect, fn)
+	return err
+}
+
+// SearchFrom runs a window query over the subtree rooted at id. It is
+// the primitive behind both traditional window queries (id = root) and
+// IWP's incremental processing, which starts from intermediate nodes
+// reached via backward pointers. It reports whether the traversal ran
+// to completion (false when fn stopped it).
+func (r Reader) SearchFrom(id NodeID, rect geom.Rect, fn func(p geom.Point) bool) (bool, error) {
+	if rect.IsEmpty() {
+		return true, nil
+	}
+	node, err := r.Node(id)
+	if err != nil {
+		return false, err
+	}
+	if node.Leaf {
+		for _, p := range node.Points {
+			if rect.ContainsPoint(p) && !fn(p) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i, childRect := range node.Rects {
+		if !rect.Intersects(childRect) {
+			continue
+		}
+		done, err := r.SearchFrom(node.Children[i], rect, fn)
+		if err != nil || !done {
+			return done, err
+		}
+	}
+	return true, nil
+}
+
+// SearchCollect runs Search and returns the matching points.
+func (r Reader) SearchCollect(rect geom.Rect) ([]geom.Point, error) {
+	var out []geom.Point
+	err := r.Search(rect, func(p geom.Point) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, err
+}
+
+// NearestK returns the k points nearest to q in ascending distance
+// order (fewer if the tree holds fewer points).
+func (r Reader) NearestK(q geom.Point, k int) ([]geom.Point, error) {
+	it := r.NNIterator(q)
+	out := make([]geom.Point, 0, k)
+	for len(out) < k {
+		p, _, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out, it.Err()
+}

@@ -191,8 +191,10 @@ func (t *Tree) Len() int { return t.count }
 // MaxEntries returns the configured fan-out.
 func (t *Tree) MaxEntries() int { return t.opts.MaxEntries }
 
-// Node fetches a node by id, counting one visit. Use it for custom
-// traversals such as the NWC algorithm's pruned best-first search.
+// Node fetches a node by id, counting one visit on the cumulative
+// counter only. Custom traversals that need per-query I/O accounting or
+// cancellation — such as the NWC algorithm's pruned best-first search —
+// should go through a Reader (Tree.Reader) instead.
 func (t *Tree) Node(id NodeID) (*Node, error) { return t.store.Get(id) }
 
 // Visits returns the node-visit count accumulated by the store.

@@ -5,52 +5,24 @@ import "nwcq/internal/geom"
 // Search performs a window (range) query: fn is called for every indexed
 // point inside rect (closed boundaries). fn returning false stops the
 // search early. Every node touched counts as one visit.
+//
+// Queries needing cancellation or per-query I/O accounting should use a
+// Reader (Tree.Reader) instead; this method counts only the cumulative
+// total.
 func (t *Tree) Search(rect geom.Rect, fn func(p geom.Point) bool) error {
-	_, err := t.SearchFrom(t.root, rect, fn)
-	return err
+	return t.Reader(nil, nil).Search(rect, fn)
 }
 
-// SearchFrom runs a window query over the subtree rooted at id. It is
-// the primitive behind both traditional window queries (id = root) and
-// IWP's incremental processing, which starts from intermediate nodes
-// reached via backward pointers. It reports whether the traversal ran to
-// completion (false when fn stopped it).
+// SearchFrom runs a window query over the subtree rooted at id. See
+// Reader.SearchFrom; this variant has no context and no per-query
+// accounting.
 func (t *Tree) SearchFrom(id NodeID, rect geom.Rect, fn func(p geom.Point) bool) (bool, error) {
-	if rect.IsEmpty() {
-		return true, nil
-	}
-	node, err := t.store.Get(id)
-	if err != nil {
-		return false, err
-	}
-	if node.Leaf {
-		for _, p := range node.Points {
-			if rect.ContainsPoint(p) && !fn(p) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	for i, childRect := range node.Rects {
-		if !rect.Intersects(childRect) {
-			continue
-		}
-		done, err := t.SearchFrom(node.Children[i], rect, fn)
-		if err != nil || !done {
-			return done, err
-		}
-	}
-	return true, nil
+	return t.Reader(nil, nil).SearchFrom(id, rect, fn)
 }
 
 // SearchCollect runs Search and returns the matching points.
 func (t *Tree) SearchCollect(rect geom.Rect) ([]geom.Point, error) {
-	var out []geom.Point
-	err := t.Search(rect, func(p geom.Point) bool {
-		out = append(out, p)
-		return true
-	})
-	return out, err
+	return t.Reader(nil, nil).SearchCollect(rect)
 }
 
 // All returns every indexed point in unspecified order.

@@ -9,48 +9,109 @@
 //	GET /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=] k groups
 //	GET /nearest?x=&y=&k=                                  plain k-NN
 //	GET /stats                                             index + I/O counters
+//	GET /metrics                                           latency/I-O histograms
 //	GET /healthz                                           liveness
+//
+// Query handlers run under the request's context, so a client that
+// disconnects (or a server read timeout) cancels the index traversal
+// mid-flight. Request accounting is lock-free: per-endpoint counters
+// and latency histograms are atomic, so instrumentation adds no
+// contention between concurrent requests.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"time"
 
 	"nwcq"
+	"nwcq/internal/metrics"
 )
 
+// endpointStats aggregates one route's request count, failure count and
+// latency distribution with atomics only.
+type endpointStats struct {
+	requests metrics.Counter
+	failures metrics.Counter
+	latency  *metrics.Histogram // seconds
+}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{
+		// 10µs .. ~80s in ×2 steps.
+		latency: metrics.MustHistogram(metrics.ExponentialBounds(1e-5, 2, 23)),
+	}
+}
+
 // Server handles queries against one index. It is safe for concurrent
-// use: the underlying index is static and reads are lock-free; only the
-// served-request counters take a mutex.
+// use: the underlying index is static, reads are lock-free, and all
+// request accounting is atomic.
 type Server struct {
 	idx *nwcq.Index
 
-	mu     sync.Mutex
-	served uint64
-	failed uint64
+	served metrics.Counter
+	failed metrics.Counter
+	// endpoints is built once in New and read-only afterwards.
+	endpoints map[string]*endpointStats
 }
 
 // New wraps an index.
 func New(idx *nwcq.Index) *Server {
-	return &Server{idx: idx}
+	s := &Server{idx: idx, endpoints: make(map[string]*endpointStats)}
+	for _, name := range []string{"nwc", "knwc", "nearest", "stats", "metrics"} {
+		s.endpoints[name] = newEndpointStats()
+	}
+	return s
 }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /nwc", s.handleNWC)
-	mux.HandleFunc("GET /knwc", s.handleKNWC)
-	mux.HandleFunc("GET /nearest", s.handleNearest)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /nwc", s.instrument("nwc", s.handleNWC))
+	mux.HandleFunc("GET /knwc", s.instrument("knwc", s.handleKNWC))
+	mux.HandleFunc("GET /nearest", s.instrument("nearest", s.handleNearest))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// statusWriter records the status code so instrumentation can classify
+// the response after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint timing and counting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		ep.requests.Inc()
+		ep.latency.Observe(time.Since(start).Seconds())
+		if sw.code >= 400 {
+			ep.failures.Inc()
+			s.failed.Inc()
+		} else {
+			s.served.Inc()
+		}
+	}
 }
 
 // pointJSON mirrors nwcq.Point for stable JSON field names.
@@ -79,6 +140,7 @@ type statsJSON struct {
 	ObjectsSkipped   int    `json:"objects_skipped"`
 	NodesPruned      int    `json:"nodes_pruned"`
 	WindowQueries    int    `json:"window_queries"`
+	GridProbes       int    `json:"grid_probes"`
 }
 
 type errorJSON struct {
@@ -106,6 +168,7 @@ func toStatsJSON(st nwcq.Stats) statsJSON {
 		ObjectsSkipped:   st.ObjectsSkipped,
 		NodesPruned:      st.NodesPruned,
 		WindowQueries:    st.WindowQueries,
+		GridProbes:       st.GridProbes,
 	}
 }
 
@@ -142,7 +205,7 @@ func queryFromRequest(r *http.Request) (nwcq.Query, error) {
 		if err != nil {
 			return q, err
 		}
-		q.Scheme = &scheme
+		q.Scheme = scheme
 	}
 	if mv := r.URL.Query().Get("measure"); mv != "" {
 		measure, err := ParseMeasure(mv)
@@ -193,18 +256,12 @@ func ParseMeasure(s string) (nwcq.Measure, error) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	s.mu.Lock()
-	s.failed++
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
 }
 
 func (s *Server) ok(w http.ResponseWriter, payload any) {
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(payload)
 }
@@ -215,9 +272,9 @@ func (s *Server) handleNWC(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.idx.NWC(q)
+	res, err := s.idx.NWCCtx(r.Context(), q)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, statusFor(err), err)
 		return
 	}
 	type response struct {
@@ -256,20 +313,37 @@ func (s *Server) handleKNWC(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	groups, st, err := s.idx.KNWC(nwcq.KQuery{Query: q, K: k, M: m})
+	res, err := s.idx.KNWCCtx(r.Context(), nwcq.KQuery{Query: q, K: k, M: m})
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, statusFor(err), err)
 		return
 	}
 	type response struct {
+		Found  bool        `json:"found"`
 		Groups []groupJSON `json:"groups"`
 		Stats  statsJSON   `json:"stats"`
 	}
-	out := response{Groups: make([]groupJSON, 0, len(groups)), Stats: toStatsJSON(st)}
-	for _, g := range groups {
+	out := response{Found: res.Found, Groups: make([]groupJSON, 0, len(res.Groups)), Stats: toStatsJSON(res.Stats)}
+	for _, g := range res.Groups {
 		out.Groups = append(out.Groups, toGroupJSON(g))
 	}
 	s.ok(w, out)
+}
+
+// statusFor maps index errors onto HTTP statuses: parameter rejections
+// are the client's fault, a cancelled request context is the client
+// hanging up (499 by nginx convention), anything else is a 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, nwcq.ErrInvalidQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499: client closed request (nginx convention); the write will
+		// usually go nowhere, but the accounting classifies it failed.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
@@ -285,7 +359,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 	}
 	pts, err := s.idx.Nearest(x, y, k)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, statusFor(err), err)
 		return
 	}
 	out := make([]pointJSON, 0, len(pts))
@@ -297,16 +371,40 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	gridB, iwpB := s.idx.StorageOverheadBytes()
-	s.mu.Lock()
-	served, failed := s.served, s.failed
-	s.mu.Unlock()
 	s.ok(w, map[string]any{
 		"points":          s.idx.Len(),
 		"tree_height":     s.idx.TreeHeight(),
 		"node_visits":     s.idx.IOStats(),
 		"grid_bytes":      gridB,
 		"iwp_bytes":       iwpB,
-		"requests_served": served,
-		"requests_failed": failed,
+		"requests_served": s.served.Value(),
+		"requests_failed": s.failed.Value(),
+	})
+}
+
+// endpointJSON summarises one route for /metrics.
+type endpointJSON struct {
+	Requests     uint64  `json:"requests"`
+	Failures     uint64  `json:"failures"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	eps := make(map[string]endpointJSON, len(s.endpoints))
+	for name, ep := range s.endpoints {
+		lat := ep.latency.Snapshot()
+		eps[name] = endpointJSON{
+			Requests:     ep.requests.Value(),
+			Failures:     ep.failures.Value(),
+			LatencyP50Ms: lat.Quantile(0.50) * 1e3,
+			LatencyP95Ms: lat.Quantile(0.95) * 1e3,
+			LatencyP99Ms: lat.Quantile(0.99) * 1e3,
+		}
+	}
+	s.ok(w, map[string]any{
+		"index":     s.idx.Metrics(),
+		"endpoints": eps,
 	})
 }

@@ -210,6 +210,56 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	// Traffic: two good queries, one bad request.
+	var tmp nwcResponse
+	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
+	getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=3&k=2", &struct{}{})
+	getJSON(t, ts.URL+"/nwc?x=1&y=2&l=10&w=10&n=0", &struct{ Error string }{})
+
+	var out struct {
+		Index struct {
+			Queries map[string]struct {
+				Count        uint64  `json:"count"`
+				Errors       uint64  `json:"errors"`
+				LatencyP95Ms float64 `json:"latency_p95_ms"`
+				VisitsP50    float64 `json:"node_visits_p50"`
+			} `json:"queries"`
+			SchemeCounts         map[string]uint64 `json:"scheme_counts"`
+			CumulativeNodeVisits uint64            `json:"cumulative_node_visits"`
+		} `json:"index"`
+		Endpoints map[string]struct {
+			Requests uint64 `json:"requests"`
+			Failures uint64 `json:"failures"`
+		} `json:"endpoints"`
+	}
+	code := getJSON(t, ts.URL+"/metrics", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	nwc := out.Index.Queries["nwc"]
+	if nwc.Count != 2 || nwc.Errors != 1 {
+		t.Errorf("index nwc count/errors = %d/%d, want 2/1", nwc.Count, nwc.Errors)
+	}
+	if nwc.VisitsP50 <= 0 {
+		t.Errorf("node visit p50 = %g", nwc.VisitsP50)
+	}
+	if out.Index.Queries["knwc"].Count != 1 {
+		t.Errorf("knwc count = %d", out.Index.Queries["knwc"].Count)
+	}
+	if out.Index.SchemeCounts["NWC*"] == 0 {
+		t.Errorf("scheme counts = %v", out.Index.SchemeCounts)
+	}
+	if out.Index.CumulativeNodeVisits == 0 {
+		t.Error("cumulative node visits = 0")
+	}
+	ep := out.Endpoints["nwc"]
+	if ep.Requests != 2 || ep.Failures != 1 {
+		t.Errorf("endpoint nwc requests/failures = %d/%d, want 2/1", ep.Requests, ep.Failures)
+	}
+}
+
 func TestConcurrentRequests(t *testing.T) {
 	_, ts := testServer(t)
 	var wg sync.WaitGroup

@@ -111,8 +111,7 @@ func TestMutationInvalidatesIWP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scheme := SchemeIWP
-	q := Query{X: 500, Y: 500, Length: 80, Width: 80, N: 4, Scheme: &scheme}
+	q := Query{X: 500, Y: 500, Length: 80, Width: 80, N: 4, Scheme: SchemeIWP}
 	if _, err := idx.NWC(q); err != nil {
 		t.Fatal(err)
 	}
@@ -134,9 +133,8 @@ func TestMutationInvalidatesIWP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := SchemeNWC
 	qPlain := q
-	qPlain.Scheme = &plain
+	qPlain.Scheme = SchemeNWC
 	base, err := idx.NWC(qPlain)
 	if err != nil {
 		t.Fatal(err)

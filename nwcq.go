@@ -25,12 +25,22 @@
 // (SchemeNWCStar, the default, enables all four optimisations). Every
 // query reports its I/O cost as the number of index nodes visited, the
 // paper's performance metric.
+//
+// # Contexts and concurrency
+//
+// A built index is safe for concurrent reads. NWCCtx and KNWCCtx accept
+// a context.Context that is checked at node-visit granularity: a
+// cancelled or expired context aborts the traversal with the context's
+// error. Every query's Stats is accumulated on a carrier private to that
+// query, so per-query numbers are exact at any parallelism; Index.Metrics
+// aggregates latency and I/O distributions across all queries with
+// lock-free atomics.
 package nwcq
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"math"
+	"time"
 
 	"nwcq/internal/core"
 	"nwcq/internal/geom"
@@ -86,26 +96,79 @@ func (m Measure) internal() (core.Measure, error) {
 // query: SRR (search region reduction), DIP (distance-based pruning),
 // DEP (density-based pruning) and IWP (incremental window query
 // processing).
+//
+// Scheme is a value type designed so Query literals need no pointer
+// plumbing: the zero value (SchemeDefault) means "the default scheme",
+// which is SchemeNWCStar with every optimisation on. To run the plain
+// unoptimised algorithm, say SchemeNWC explicitly.
 type Scheme struct {
-	SRR, DIP, DEP, IWP bool
+	bits uint8
 }
 
-// The paper's evaluation schemes (Table 3).
-var (
-	SchemeNWC     = Scheme{}
-	SchemeSRR     = Scheme{SRR: true}
-	SchemeDIP     = Scheme{DIP: true}
-	SchemeDEP     = Scheme{DEP: true}
-	SchemeIWP     = Scheme{IWP: true}
-	SchemeNWCPlus = Scheme{SRR: true, DIP: true}
-	SchemeNWCStar = Scheme{SRR: true, DIP: true, DEP: true, IWP: true}
+const (
+	schemeBitSRR uint8 = 1 << iota
+	schemeBitDIP
+	schemeBitDEP
+	schemeBitIWP
+	// schemeBitExplicit separates an explicitly chosen scheme from the
+	// zero value, so Scheme{} can mean "default" while SchemeNWC (all
+	// optimisations off, explicitly) stays expressible.
+	schemeBitExplicit
 )
 
-func (s Scheme) internal() core.Scheme {
-	return core.Scheme{SRR: s.SRR, DIP: s.DIP, DEP: s.DEP, IWP: s.IWP}
+// The paper's evaluation schemes (Table 3), plus the zero-value default.
+var (
+	// SchemeDefault is the zero Scheme; it resolves to SchemeNWCStar.
+	SchemeDefault = Scheme{}
+	SchemeNWC     = Scheme{bits: schemeBitExplicit}
+	SchemeSRR     = Scheme{bits: schemeBitExplicit | schemeBitSRR}
+	SchemeDIP     = Scheme{bits: schemeBitExplicit | schemeBitDIP}
+	SchemeDEP     = Scheme{bits: schemeBitExplicit | schemeBitDEP}
+	SchemeIWP     = Scheme{bits: schemeBitExplicit | schemeBitIWP}
+	SchemeNWCPlus = Scheme{bits: schemeBitExplicit | schemeBitSRR | schemeBitDIP}
+	SchemeNWCStar = Scheme{bits: schemeBitExplicit | schemeBitSRR | schemeBitDIP | schemeBitDEP | schemeBitIWP}
+)
+
+// NewScheme builds an explicit scheme from individual optimisation
+// flags. NewScheme(false, false, false, false) is the plain NWC
+// algorithm, not the default.
+func NewScheme(srr, dip, dep, iwp bool) Scheme {
+	s := Scheme{bits: schemeBitExplicit}
+	if srr {
+		s.bits |= schemeBitSRR
+	}
+	if dip {
+		s.bits |= schemeBitDIP
+	}
+	if dep {
+		s.bits |= schemeBitDEP
+	}
+	if iwp {
+		s.bits |= schemeBitIWP
+	}
+	return s
 }
 
-// String returns the paper's name for the scheme.
+// IsDefault reports whether s is the zero value, which resolves to
+// SchemeNWCStar.
+func (s Scheme) IsDefault() bool { return s.bits&schemeBitExplicit == 0 }
+
+// Flags returns the resolved optimisation flags (the zero value
+// resolves to all four on).
+func (s Scheme) Flags() (srr, dip, dep, iwp bool) {
+	if s.IsDefault() {
+		return true, true, true, true
+	}
+	return s.bits&schemeBitSRR != 0, s.bits&schemeBitDIP != 0,
+		s.bits&schemeBitDEP != 0, s.bits&schemeBitIWP != 0
+}
+
+func (s Scheme) internal() core.Scheme {
+	srr, dip, dep, iwp := s.Flags()
+	return core.Scheme{SRR: srr, DIP: dip, DEP: dep, IWP: iwp}
+}
+
+// String returns the paper's name for the resolved scheme.
 func (s Scheme) String() string { return s.internal().String() }
 
 // Query is an NWC query.
@@ -116,18 +179,11 @@ type Query struct {
 	Length, Width float64
 	// N is the number of objects to retrieve.
 	N int
-	// Scheme selects the optimisations; the zero value means
-	// SchemeNWCStar (all optimisations on).
-	Scheme *Scheme
+	// Scheme selects the optimisations; the zero value (SchemeDefault)
+	// means SchemeNWCStar (all optimisations on).
+	Scheme Scheme
 	// Measure selects the distance measure; default MaxDistance.
 	Measure Measure
-}
-
-func (q Query) scheme() Scheme {
-	if q.Scheme == nil {
-		return SchemeNWCStar
-	}
-	return *q.Scheme
 }
 
 // KQuery is a kNWC query: K groups sharing at most M objects pairwise.
@@ -137,7 +193,9 @@ type KQuery struct {
 	M int
 }
 
-// Stats reports the work one query performed.
+// Stats reports the work one query performed. It is computed on a
+// carrier private to the query, so concurrent queries report exact,
+// independent numbers.
 type Stats struct {
 	// NodeVisits is the number of index nodes read — the paper's I/O
 	// cost metric.
@@ -154,6 +212,8 @@ type Stats struct {
 	// windows holding at least N objects.
 	CandidateWindows int
 	QualifiedWindows int
+	// GridProbes counts density-grid upper-bound probes issued by DEP.
+	GridProbes int
 }
 
 func statsFrom(s core.Stats) Stats {
@@ -165,6 +225,7 @@ func statsFrom(s core.Stats) Stats {
 		WindowQueries:    s.WindowQueries,
 		CandidateWindows: s.CandidateWindows,
 		QualifiedWindows: s.QualifiedWindows,
+		GridProbes:       s.GridProbes,
 	}
 }
 
@@ -188,6 +249,20 @@ type Result struct {
 	Stats Stats
 }
 
+// KResult is the answer to a kNWC query, mirroring Result's shape.
+type KResult struct {
+	// Groups holds up to K groups ordered by ascending distance,
+	// pairwise sharing at most M objects. Fewer than K groups are
+	// returned when the dataset cannot supply K groups satisfying the
+	// overlap constraint.
+	Groups []Group
+	// Found is false when no window of the requested size holds N
+	// objects (Groups is then empty).
+	Found bool
+	// Stats describes the query's work.
+	Stats Stats
+}
+
 // Index answers NWC and kNWC queries over a fixed point set.
 type Index struct {
 	points  []geom.Point
@@ -196,6 +271,7 @@ type Index struct {
 	iwp     *iwp.Index
 	engine  *core.Engine
 	options buildOptions
+	obs     *queryMetrics
 	// iwpStale marks the IWP pointers invalid after Insert/Delete; the
 	// next query needing them rebuilds lazily (see mutate.go).
 	iwpStale bool
@@ -250,7 +326,10 @@ func Build(points []Point, opts ...BuildOption) (*Index, error) {
 	}
 	gpts := make([]geom.Point, len(points))
 	for i, p := range points {
-		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		if err := finiteParam("point coordinate", p.X); err != nil {
+			return nil, fmt.Errorf("nwcq: point %d has non-finite coordinates", i)
+		}
+		if err := finiteParam("point coordinate", p.Y); err != nil {
 			return nil, fmt.Errorf("nwcq: point %d has non-finite coordinates", i)
 		}
 		gpts[i] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
@@ -307,6 +386,7 @@ func Build(points []Point, opts ...BuildOption) (*Index, error) {
 	}
 	return &Index{
 		points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
+		obs: newQueryMetrics(),
 	}, nil
 }
 
@@ -323,22 +403,42 @@ func (ix *Index) StorageOverheadBytes() (gridBytes, iwpBytes int) {
 	return ix.grid.StorageBytes(), ix.iwp.StorageBytes()
 }
 
-// NWC answers an NWC query.
+// NWC answers an NWC query with no cancellation; it is shorthand for
+// NWCCtx with a background context.
 func (ix *Index) NWC(q Query) (Result, error) {
+	return ix.NWCCtx(context.Background(), q)
+}
+
+// NWCCtx answers an NWC query under ctx. The context is checked at
+// node-visit granularity: once it is cancelled or past its deadline the
+// traversal aborts and the context's error is returned. The query's
+// Stats is computed in isolation, exact under any concurrency.
+func (ix *Index) NWCCtx(ctx context.Context, q Query) (Result, error) {
+	start := time.Now()
+	res, err := ix.nwc(ctx, q)
+	ix.obs.observe(kindNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	return res, err
+}
+
+func (ix *Index) nwc(ctx context.Context, q Query) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
 	measure, err := q.Measure.internal()
 	if err != nil {
 		return Result{}, err
 	}
-	if q.scheme().IWP {
+	scheme := q.Scheme.internal()
+	if scheme.IWP {
 		if err := ix.ensureIWP(); err != nil {
 			return Result{}, err
 		}
 	}
-	res, st, err := ix.engine.NWC(core.Query{
+	res, st, err := ix.engine.NWCCtx(ctx, core.Query{
 		Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N,
-	}, q.scheme().internal(), measure)
+	}, scheme, measure)
 	if err != nil {
-		return Result{}, err
+		return Result{Stats: statsFrom(st)}, err
 	}
 	out := Result{Found: res.Found, Stats: statsFrom(st)}
 	if res.Found {
@@ -347,39 +447,74 @@ func (ix *Index) NWC(q Query) (Result, error) {
 	return out, nil
 }
 
-// KNWC answers a kNWC query, returning up to K groups ordered by
-// ascending distance, pairwise sharing at most M objects.
-func (ix *Index) KNWC(q KQuery) ([]Group, Stats, error) {
+// KNWCCtx answers a kNWC query under ctx, returning a KResult that
+// mirrors NWC's single-result shape: up to K groups ordered by
+// ascending distance, pairwise sharing at most M objects, plus the
+// query's isolated Stats. Context semantics match NWCCtx.
+func (ix *Index) KNWCCtx(ctx context.Context, q KQuery) (KResult, error) {
+	start := time.Now()
+	res, err := ix.knwc(ctx, q)
+	ix.obs.observe(kindKNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	return res, err
+}
+
+func (ix *Index) knwc(ctx context.Context, q KQuery) (KResult, error) {
+	if err := q.Validate(); err != nil {
+		return KResult{}, err
+	}
 	measure, err := q.Measure.internal()
 	if err != nil {
-		return nil, Stats{}, err
+		return KResult{}, err
 	}
-	if q.scheme().IWP {
+	scheme := q.Scheme.internal()
+	if scheme.IWP {
 		if err := ix.ensureIWP(); err != nil {
-			return nil, Stats{}, err
+			return KResult{}, err
 		}
 	}
-	groups, st, err := ix.engine.KNWC(core.KNWCQuery{
+	groups, st, err := ix.engine.KNWCCtx(ctx, core.KNWCQuery{
 		Query: core.Query{Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N},
 		K:     q.K, M: q.M,
-	}, q.scheme().internal(), measure)
+	}, scheme, measure)
 	if err != nil {
-		return nil, Stats{}, err
+		return KResult{Stats: statsFrom(st)}, err
 	}
-	out := make([]Group, len(groups))
-	for i, g := range groups {
-		out[i] = groupFrom(g)
+	out := KResult{Found: len(groups) > 0, Stats: statsFrom(st)}
+	if len(groups) > 0 {
+		out.Groups = make([]Group, len(groups))
+		for i, g := range groups {
+			out.Groups[i] = groupFrom(g)
+		}
 	}
-	return out, statsFrom(st), nil
+	return out, nil
+}
+
+// KNWC answers a kNWC query, returning up to K groups ordered by
+// ascending distance, pairwise sharing at most M objects.
+//
+// Deprecated: use KNWCCtx, whose KResult mirrors NWC's single-result
+// shape and carries context support. This three-value form is kept so
+// existing callers compile.
+func (ix *Index) KNWC(q KQuery) ([]Group, Stats, error) {
+	res, err := ix.KNWCCtx(context.Background(), q)
+	return res.Groups, res.Stats, err
 }
 
 // Window runs a plain window (range) query, returning the points inside
-// the rectangle.
+// the rectangle. Inverted rectangles (min above max on either axis) and
+// non-finite bounds are rejected.
 func (ix *Index) Window(minX, minY, maxX, maxY float64) ([]Point, error) {
-	if math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
-		return nil, errors.New("nwcq: NaN window bound")
+	start := time.Now()
+	pts, err := ix.window(context.Background(), minX, minY, maxX, maxY)
+	ix.obs.observe(kindWindow, SchemeDefault, time.Since(start), 0, err)
+	return pts, err
+}
+
+func (ix *Index) window(ctx context.Context, minX, minY, maxX, maxY float64) ([]Point, error) {
+	if err := validateWindowRect(minX, minY, maxX, maxY); err != nil {
+		return nil, err
 	}
-	pts, err := ix.tree.SearchCollect(geom.NewRect(minX, minY, maxX, maxY))
+	pts, err := ix.tree.Reader(ctx, nil).SearchCollect(geom.NewRect(minX, minY, maxX, maxY))
 	if err != nil {
 		return nil, err
 	}
@@ -389,22 +524,30 @@ func (ix *Index) Window(minX, minY, maxX, maxY float64) ([]Point, error) {
 // Nearest returns the k indexed points nearest to (x, y) in ascending
 // distance order.
 func (ix *Index) Nearest(x, y float64, k int) ([]Point, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("nwcq: k = %d must be at least 1", k)
+	start := time.Now()
+	pts, err := ix.nearest(context.Background(), x, y, k)
+	ix.obs.observe(kindNearest, SchemeDefault, time.Since(start), 0, err)
+	return pts, err
+}
+
+func (ix *Index) nearest(ctx context.Context, x, y float64, k int) ([]Point, error) {
+	if err := validateNearest(x, y, k); err != nil {
+		return nil, err
 	}
-	pts, err := ix.tree.NearestK(geom.Point{X: x, Y: y}, k)
+	pts, err := ix.tree.Reader(ctx, nil).NearestK(geom.Point{X: x, Y: y}, k)
 	if err != nil {
 		return nil, err
 	}
 	return pointsFrom(pts), nil
 }
 
-// ResetIOStats zeroes the index-wide node-visit counter (per-query
-// counts in Stats are deltas and unaffected).
+// ResetIOStats zeroes the index-wide cumulative node-visit counter
+// (per-query counts in Stats are independent and unaffected).
 func (ix *Index) ResetIOStats() { ix.tree.ResetVisits() }
 
 // IOStats returns the cumulative node visits since the index was built
-// or ResetIOStats was called.
+// or ResetIOStats was called. The counter is atomic and exact under
+// concurrent queries.
 func (ix *Index) IOStats() uint64 { return ix.tree.Visits() }
 
 func groupFrom(g core.Group) Group {

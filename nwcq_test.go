@@ -71,8 +71,7 @@ func TestSchemesAgreeThroughPublicAPI(t *testing.T) {
 	}
 	var baseline float64
 	for i, s := range []Scheme{SchemeNWC, SchemeSRR, SchemeDIP, SchemeDEP, SchemeIWP, SchemeNWCPlus, SchemeNWCStar} {
-		scheme := s
-		res, err := idx.NWC(Query{X: 300, Y: 700, Length: 60, Width: 60, N: 6, Scheme: &scheme})
+		res, err := idx.NWC(Query{X: 300, Y: 700, Length: 60, Width: 60, N: 6, Scheme: s})
 		if err != nil {
 			t.Fatal(err)
 		}

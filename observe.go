@@ -1,0 +1,150 @@
+package nwcq
+
+import (
+	"time"
+
+	"nwcq/internal/metrics"
+)
+
+// Index-level observability: every query records its latency, node
+// visits and scheme into lock-free aggregates (internal/metrics), read
+// out with Index.Metrics. Recording sits outside the per-query Stats
+// carrier, so the two never contend: Stats is exact per query, Metrics
+// is exact in aggregate.
+
+// queryKind indexes the per-operation aggregates.
+type queryKind int
+
+const (
+	kindNWC queryKind = iota
+	kindKNWC
+	kindNearest
+	kindWindow
+	kindCount
+)
+
+var kindNames = [kindCount]string{"nwc", "knwc", "nearest", "window"}
+
+// queryMetrics aggregates across queries with atomics only; it is safe
+// for concurrent use and adds no lock to the query path.
+type queryMetrics struct {
+	queries [kindCount]metrics.Counter
+	errors  [kindCount]metrics.Counter
+	latency [kindCount]*metrics.Histogram // seconds
+	visits  [kindCount]*metrics.Histogram // node visits (NWC/kNWC only)
+	// byScheme counts NWC/kNWC queries per resolved scheme, indexed by
+	// the scheme's four optimisation bits.
+	byScheme [16]metrics.Counter
+}
+
+func newQueryMetrics() *queryMetrics {
+	m := &queryMetrics{}
+	for k := range m.latency {
+		// 1µs .. ~8.4s in ×2 steps.
+		m.latency[k] = metrics.MustHistogram(metrics.ExponentialBounds(1e-6, 2, 24))
+		// 1 .. ~8.4M node visits in ×2 steps.
+		m.visits[k] = metrics.MustHistogram(metrics.ExponentialBounds(1, 2, 24))
+	}
+	return m
+}
+
+func schemeIndex(s Scheme) int {
+	srr, dip, dep, iwp := s.Flags()
+	i := 0
+	if srr {
+		i |= 1
+	}
+	if dip {
+		i |= 2
+	}
+	if dep {
+		i |= 4
+	}
+	if iwp {
+		i |= 8
+	}
+	return i
+}
+
+// observe records one finished query. Only NWC/kNWC report node visits
+// and a scheme; the other kinds pass zero visits and SchemeDefault.
+func (m *queryMetrics) observe(kind queryKind, scheme Scheme, elapsed time.Duration, visits uint64, err error) {
+	m.queries[kind].Inc()
+	if err != nil {
+		m.errors[kind].Inc()
+	}
+	m.latency[kind].Observe(elapsed.Seconds())
+	if kind == kindNWC || kind == kindKNWC {
+		m.visits[kind].Observe(float64(visits))
+		m.byScheme[schemeIndex(scheme)].Inc()
+	}
+}
+
+// QueryKindMetrics summarises one operation kind in a MetricsSnapshot.
+// Latencies are milliseconds; quantiles are histogram estimates
+// (interpolated within log-spaced buckets).
+type QueryKindMetrics struct {
+	Count         uint64  `json:"count"`
+	Errors        uint64  `json:"errors"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	// Node-visit distribution; zero for kinds that do not report visits
+	// (nearest, window).
+	NodeVisitsMean float64 `json:"node_visits_mean"`
+	NodeVisitsP50  float64 `json:"node_visits_p50"`
+	NodeVisitsP95  float64 `json:"node_visits_p95"`
+	NodeVisitsP99  float64 `json:"node_visits_p99"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the index's aggregated
+// observability state.
+type MetricsSnapshot struct {
+	// Queries maps operation name ("nwc", "knwc", "nearest", "window")
+	// to its aggregates.
+	Queries map[string]QueryKindMetrics `json:"queries"`
+	// SchemeCounts maps resolved scheme name (as in Scheme.String) to
+	// the number of NWC/kNWC queries run under it.
+	SchemeCounts map[string]uint64 `json:"scheme_counts"`
+	// CumulativeNodeVisits is the index-wide atomic node-visit total
+	// (same value as IOStats).
+	CumulativeNodeVisits uint64 `json:"cumulative_node_visits"`
+}
+
+// Metrics returns aggregated latency, error and I/O statistics over
+// every query run on this index. Safe to call concurrently with
+// queries; the snapshot is built from atomic reads.
+func (ix *Index) Metrics() MetricsSnapshot {
+	m := ix.obs
+	out := MetricsSnapshot{
+		Queries:              make(map[string]QueryKindMetrics, kindCount),
+		SchemeCounts:         make(map[string]uint64),
+		CumulativeNodeVisits: ix.tree.Visits(),
+	}
+	for k := queryKind(0); k < kindCount; k++ {
+		lat := m.latency[k].Snapshot()
+		vis := m.visits[k].Snapshot()
+		km := QueryKindMetrics{
+			Count:         m.queries[k].Value(),
+			Errors:        m.errors[k].Value(),
+			LatencyMeanMs: lat.Mean() * 1e3,
+			LatencyP50Ms:  lat.Quantile(0.50) * 1e3,
+			LatencyP95Ms:  lat.Quantile(0.95) * 1e3,
+			LatencyP99Ms:  lat.Quantile(0.99) * 1e3,
+		}
+		if k == kindNWC || k == kindKNWC {
+			km.NodeVisitsMean = vis.Mean()
+			km.NodeVisitsP50 = vis.Quantile(0.50)
+			km.NodeVisitsP95 = vis.Quantile(0.95)
+			km.NodeVisitsP99 = vis.Quantile(0.99)
+		}
+		out.Queries[kindNames[k]] = km
+	}
+	for i := range m.byScheme {
+		if n := m.byScheme[i].Value(); n > 0 {
+			out.SchemeCounts[NewScheme(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0).String()] += n
+		}
+	}
+	return out
+}

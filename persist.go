@@ -144,7 +144,10 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 		return nil, err
 	}
 	return &PagedIndex{
-		Index: Index{points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o},
+		Index: Index{
+			points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
+			obs: newQueryMetrics(),
+		},
 		pages: pages,
 		file:  f,
 	}, nil
