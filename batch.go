@@ -12,6 +12,13 @@ import (
 // fan-out boilerplate. Results are returned in input order, and every
 // result's Stats is exact for its own query — per-query accounting is
 // carried on query-private counters, never shared between workers.
+//
+// The storage layers are built for exactly this fan-out: on a paged
+// index, workers share the buffer pool's immutable frames zero-copy
+// (per-shard locking, single-flight cold reads) and the decoded-node
+// cache, and each query draws its working memory (heap, candidate
+// buffers, selection scratch) from a sync.Pool, so steady-state batch
+// load allocates almost nothing per query.
 
 // BatchOptions configures batch execution.
 type BatchOptions struct {

@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nwcq/internal/core"
@@ -42,14 +44,8 @@ func reportTable(b *testing.B, tables ...*harness.Table) {
 	for _, t := range tables {
 		for _, row := range t.Rows {
 			for _, cell := range row[1:] {
-				s := cell
-				mult := 1.0
-				if strings.HasSuffix(s, "M") {
-					mult = 1e6
-					s = strings.TrimSuffix(s, "M")
-				}
-				if v, err := strconv.ParseFloat(s, 64); err == nil {
-					sum += v * mult
+				if v, ok := parseTableCell(cell); ok {
+					sum += v
 					cnt++
 				}
 			}
@@ -58,6 +54,32 @@ func reportTable(b *testing.B, tables ...*harness.Table) {
 	if cnt > 0 {
 		b.ReportMetric(sum/float64(cnt), "nodevisits/query")
 	}
+}
+
+// parseTableCell parses a harness table cell into a float, honouring
+// the K/k (×1e3) and M (×1e6) magnitude suffixes the tables emit.
+// Non-numeric cells (dataset names, scheme labels, "-" placeholders)
+// report ok=false and are skipped by the caller rather than silently
+// treated as parse noise.
+func parseTableCell(cell string) (v float64, ok bool) {
+	s := strings.TrimSpace(cell)
+	if s == "" || s == "-" {
+		return 0, false
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1e6
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult = 1e3
+		s = s[:len(s)-1]
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f * mult, true
 }
 
 // BenchmarkTable2Datasets regenerates Table 2 (dataset generation and
@@ -374,6 +396,32 @@ func BenchmarkPagerReadWrite(b *testing.B) {
 			}
 		}
 	})
+	// Same reads against a pool that holds the working set: hits return
+	// the shared immutable frame with zero copies and zero allocations.
+	cached, err := pager.Create(pager.NewMemFile(), pager.Options{CacheSize: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cids []pager.PageID
+	for i := 0; i < 1024; i++ {
+		id, err := cached.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cached.Write(id, payload); err != nil {
+			b.Fatal(err)
+		}
+		cids = append(cids, id)
+	}
+	b.Run("read-hot", func(b *testing.B) {
+		b.SetBytes(pager.PageSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cached.Read(cids[i%len(cids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPagedVsMemQuery compares the same NWC query on the resident
@@ -413,6 +461,83 @@ func BenchmarkPagedVsMemQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkPagedParallel measures NWC query throughput on a paged index
+// under 1/2/4/8 goroutines, with the caches hot (buffer pool and node
+// cache sized to hold the tree) and cold (both disabled, every read a
+// physical page access). The hot path exercises the concurrency work in
+// the pager — sharded zero-copy buffer pool, single-flight misses,
+// atomic stats — whose wall-clock benefit appears as the goroutine
+// count rises on multi-core hardware.
+func BenchmarkPagedParallel(b *testing.B) {
+	raw := datagen.CALikeN(10000, 9)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	queries := harness.QueryPoints(64, 11)
+	configs := []struct {
+		name string
+		opts []BuildOption
+	}{
+		{"hot", []BuildOption{WithBulkLoad(), WithPageCacheSize(4096)}},
+		{"cold", []BuildOption{WithBulkLoad(), WithPageCacheSize(0), WithNodeCacheSize(0)}},
+	}
+	for _, cfg := range configs {
+		path := filepath.Join(b.TempDir(), cfg.name+".nwcq")
+		idx, err := BuildPaged(pts, path, cfg.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer idx.Close()
+		// Warm the hot configuration's caches before timing.
+		if cfg.name == "hot" {
+			for _, q := range queries {
+				if _, err := idx.NWC(Query{X: q.X, Y: q.Y, Length: 80, Width: 80, N: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", cfg.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				idx.ResetIOStats()
+				start := make(chan struct{})
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(b.N) {
+								return
+							}
+							q := queries[int(i)%len(queries)]
+							if _, err := idx.NWC(Query{X: q.X, Y: q.Y, Length: 80, Width: 80, N: 8}); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}()
+				}
+				b.ResetTimer()
+				close(start)
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+				b.ReportMetric(float64(idx.IOStats())/float64(b.N), "nodevisits/op")
+			})
+		}
+	}
+}
+
 // BenchmarkAblation regenerates the design-choice ablation tables
 // (build method, fan-out, IWP pointer spacing).
 func BenchmarkAblation(b *testing.B) {
@@ -436,5 +561,32 @@ func BenchmarkKNWCByN(b *testing.B) {
 			b.Fatal(err)
 		}
 		reportTable(b, t)
+	}
+}
+
+// TestParseTableCell pins the cell grammar of reportTable: magnitude
+// suffixes are honoured and non-numeric cells are skipped, not zeroed.
+func TestParseTableCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"3.5", 3.5, true},
+		{"1.2M", 1.2e6, true},
+		{"7K", 7e3, true},
+		{"7k", 7e3, true},
+		{" 12 ", 12, true},
+		{"", 0, false},
+		{"-", 0, false},
+		{"NWC*", 0, false},
+		{"CA-like", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := parseTableCell(c.in)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("parseTableCell(%q) = %g, %v; want %g, %v", c.in, v, ok, c.want, c.ok)
+		}
 	}
 }

@@ -30,20 +30,35 @@ type distStats struct {
 // newDistStats prepares ranks for the given squared distances (one per
 // candidate object; duplicates welcome). The structure starts empty.
 func newDistStats(allD2 []float64) *distStats {
-	d2s := make([]float64, len(allD2))
-	copy(d2s, allD2)
-	slices.Sort(d2s)
-	d2s = slices.Compact(d2s)
-	ds := &distStats{
-		d2s:  d2s,
-		dist: make([]float64, len(d2s)),
-		cnt:  make([]int, len(d2s)+1),
-		sum:  make([]float64, len(d2s)+1),
+	ds := &distStats{}
+	ds.reset(allD2)
+	return ds
+}
+
+// reset re-initialises ds for a new set of squared distances, reusing
+// the slice capacity of a previous use — per-query scratch holds one
+// distStats so anchor evaluation stops allocating Fenwick arrays.
+func (ds *distStats) reset(allD2 []float64) {
+	ds.d2s = append(ds.d2s[:0], allD2...)
+	slices.Sort(ds.d2s)
+	ds.d2s = slices.Compact(ds.d2s)
+	n := len(ds.d2s)
+	if cap(ds.dist) < n {
+		ds.dist = make([]float64, n)
+		ds.cnt = make([]int, n+1)
+		ds.sum = make([]float64, n+1)
 	}
-	for i, v := range d2s {
+	ds.dist = ds.dist[:n]
+	ds.cnt = ds.cnt[:n+1]
+	ds.sum = ds.sum[:n+1]
+	for i, v := range ds.d2s {
 		ds.dist[i] = math.Sqrt(v)
 	}
-	return ds
+	for i := range ds.cnt {
+		ds.cnt[i] = 0
+		ds.sum[i] = 0
+	}
+	ds.total = 0
 }
 
 // rankOf returns the 0-based rank of a squared distance that is

@@ -69,10 +69,23 @@ func distLess(a, b distPoint) bool {
 // O(len(pts) + n log n) expected time via quickselect — this sits on the
 // hot path of window evaluation.
 func nClosest(q geom.Point, pts []geom.Point, n int) []geom.Point {
+	return nClosestScratch(q, pts, n, nil)
+}
+
+// nClosestScratch is nClosest drawing its selection buffer from sc (nil
+// allocates fresh, as callers off the query path do). The returned
+// slice is always freshly allocated — it ends up in result groups and
+// must not alias pooled memory.
+func nClosestScratch(q geom.Point, pts []geom.Point, n int, sc *searchScratch) []geom.Point {
 	if n > len(pts) {
 		n = len(pts)
 	}
-	scratch := make([]distPoint, len(pts))
+	var scratch []distPoint
+	if sc != nil {
+		scratch = sc.distPoints(len(pts))
+	} else {
+		scratch = make([]distPoint, len(pts))
+	}
 	for i, p := range pts {
 		scratch[i] = distPoint{d2: p.Dist2(q), p: p}
 	}

@@ -134,7 +134,12 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
 	r := e.tree.Reader(ctx, &st.NodeVisits)
 
-	var pq pqueue
+	// Working memory (heap, candidate buffer, selection scratch) is
+	// borrowed from a pool: under batch load the steady state allocates
+	// none of it per query.
+	sc := getScratch()
+	defer putScratch(sc)
+	pq := &sc.pq
 	root, err := r.Node(e.tree.Root())
 	if err != nil {
 		return st, err
@@ -142,10 +147,7 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 	rootMBR := root.MBR()
 	pq.push(pqItem{dist2: rootMBR.MinDist2(q), isNode: true, id: e.tree.Root(), mbr: rootMBR})
 
-	// Window-query result buffer, reused across objects.
-	var buf []geom.Point
-
-	for len(pq) > 0 {
+	for len(*pq) > 0 {
 		it := pq.pop()
 		if it.isNode {
 			b := bound()
@@ -209,9 +211,9 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 			}
 		}
 		st.WindowQueries++
-		buf = buf[:0]
+		sc.buf = sc.buf[:0]
 		collect := func(cp geom.Point) bool {
-			buf = append(buf, cp)
+			sc.buf = append(sc.buf, cp)
 			return true
 		}
 		if scheme.IWP {
@@ -222,18 +224,20 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 		if err != nil {
 			return st, err
 		}
-		e.evaluateWindows(qy, p, buf, measure, bound, emit, &st)
+		e.evaluateWindows(qy, p, sc, measure, bound, emit, &st)
 	}
 	return st, nil
 }
 
 // evaluateWindows enumerates the candidate windows generated by anchor
-// object p from the candidates returned by its window query, following
-// Section 3.2: p sits on the quadrant-appropriate vertical edge and each
-// candidate object on the appropriate horizontal edge. A sliding
-// two-pointer over the y-sorted candidates counts each window's
-// population in amortised constant time.
-func (e *Engine) evaluateWindows(qy Query, p geom.Point, cands []geom.Point, measure Measure, bound func() float64, emit func(Group), st *Stats) {
+// object p from the candidates returned by its window query (sc.buf),
+// following Section 3.2: p sits on the quadrant-appropriate vertical
+// edge and each candidate object on the appropriate horizontal edge. A
+// sliding two-pointer over the y-sorted candidates counts each window's
+// population in amortised constant time. sc also supplies the Fenwick
+// and selection scratch, reused across anchors and queries.
+func (e *Engine) evaluateWindows(qy Query, p geom.Point, sc *searchScratch, measure Measure, bound func() float64, emit func(Group), st *Stats) {
+	cands := sc.buf
 	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
 	// Every candidate window generated by p shares its x-interval; only
 	// objects inside it can be window contents or horizontal anchors.
@@ -286,12 +290,13 @@ func (e *Engine) evaluateWindows(qy Query, p geom.Point, cands []geom.Point, mea
 	var fen *distStats
 	var ranks []int
 	if measure != MeasureWindow && len(s) >= fenwickThreshold {
-		d2 := make([]float64, len(s))
+		d2 := sc.floats(len(s))
 		for i, c := range s {
 			d2[i] = c.Dist2(q)
 		}
-		fen = newDistStats(d2)
-		ranks = make([]int, len(s))
+		fen = &sc.fen
+		fen.reset(d2)
+		ranks = sc.ints(len(s))
 		for i, v := range d2 {
 			ranks[i] = fen.rankOf(v)
 		}
@@ -366,7 +371,7 @@ func (e *Engine) evaluateWindows(qy Query, p geom.Point, cands []geom.Point, mea
 				}
 			}
 		}
-		objs := nClosest(q, s[lo:i+1], n)
+		objs := nClosestScratch(q, s[lo:i+1], n, sc)
 		emit(Group{
 			Objects: objs,
 			Dist:    groupDist(q, objs, win, measure),

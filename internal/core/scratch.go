@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+
+	"nwcq/internal/geom"
+)
+
+// searchScratch bundles the per-query working memory of the NWC/kNWC
+// traversal: the best-first heap, the window-query candidate buffer,
+// the order-statistic setup arrays and the n-closest selection scratch.
+// Queries borrow one from scratchPool so steady-state batch load (many
+// queries across worker goroutines) stops allocating these on every
+// call; everything handed to the caller (result groups, object lists)
+// is still freshly allocated, so nothing escapes back into the pool.
+type searchScratch struct {
+	pq    pqueue
+	buf   []geom.Point // window-query results / in-place x-filtered candidates
+	d2    []float64    // squared distances feeding the Fenwick setup
+	ranks []int        // candidate rank per index
+	dp    []distPoint  // nClosest selection scratch
+	fen   distStats    // Fenwick arrays, reset per anchor
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// scratchKeepCap bounds the capacity retained when a scratch is
+// returned to the pool, so one pathological query (a window covering
+// the whole dataset) does not pin its peak memory forever.
+const scratchKeepCap = 1 << 16
+
+func getScratch() *searchScratch {
+	sc := scratchPool.Get().(*searchScratch)
+	sc.pq = sc.pq[:0]
+	sc.buf = sc.buf[:0]
+	return sc
+}
+
+func putScratch(sc *searchScratch) {
+	if cap(sc.pq) > scratchKeepCap {
+		sc.pq = nil
+	}
+	if cap(sc.buf) > scratchKeepCap {
+		sc.buf = nil
+	}
+	if cap(sc.d2) > scratchKeepCap {
+		sc.d2 = nil
+	}
+	if cap(sc.ranks) > scratchKeepCap {
+		sc.ranks = nil
+	}
+	if cap(sc.dp) > scratchKeepCap {
+		sc.dp = nil
+	}
+	if cap(sc.fen.d2s) > scratchKeepCap {
+		sc.fen = distStats{}
+	}
+	scratchPool.Put(sc)
+}
+
+// floats returns a length-n slice backed by sc.d2, reusing capacity.
+func (sc *searchScratch) floats(n int) []float64 {
+	if cap(sc.d2) < n {
+		sc.d2 = make([]float64, n)
+	}
+	sc.d2 = sc.d2[:n]
+	return sc.d2
+}
+
+// ints returns a length-n slice backed by sc.ranks, reusing capacity.
+func (sc *searchScratch) ints(n int) []int {
+	if cap(sc.ranks) < n {
+		sc.ranks = make([]int, n)
+	}
+	sc.ranks = sc.ranks[:n]
+	return sc.ranks
+}
+
+// distPoints returns a length-n slice backed by sc.dp, reusing capacity.
+func (sc *searchScratch) distPoints(n int) []distPoint {
+	if cap(sc.dp) < n {
+		sc.dp = make([]distPoint, n)
+	}
+	sc.dp = sc.dp[:n]
+	return sc.dp
+}

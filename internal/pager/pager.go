@@ -1,11 +1,31 @@
 // Package pager implements a disk-oriented fixed-size page store with a
-// header page, a free list, per-page CRC-32 checksums, an LRU buffer
-// pool, and read/write statistics.
+// header page, a free list, per-page CRC-32 checksums, a sharded pinned
+// buffer pool with single-flight miss handling, and atomic read/write
+// statistics.
 //
 // It is the storage substrate beneath the paged R*-tree node store. The
 // paper's evaluation (Section 5) uses a page size of 4096 bytes and
 // counts R*-tree node accesses as the performance metric; the pager makes
 // that accounting concrete: one tree node occupies exactly one page.
+//
+// # Concurrency
+//
+// A Store is safe for concurrent use and its read path is designed to
+// scale with cores:
+//
+//   - Cache hits touch one buffer-pool shard mutex and return a shared
+//     immutable frame — no page copy, no global lock, no CRC re-check
+//     (checksums are verified once, when a page enters the pool).
+//   - Cache misses are single-flight: concurrent readers of the same
+//     cold page coalesce onto one file read.
+//   - File I/O is serialised per page by striped reader/writer locks, so
+//     reads of different pages proceed in parallel and a write never
+//     tears a concurrent read of its page.
+//   - Statistics are atomic counters, snapshotted without stopping
+//     readers.
+//
+// Allocation, free-list maintenance and header updates remain under one
+// metadata mutex; they are rare compared to reads.
 package pager
 
 import (
@@ -15,6 +35,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed on-disk page size in bytes, matching the paper's
@@ -31,6 +52,10 @@ const (
 	version     = 1
 )
 
+// ioStripes is the number of striped page locks serialising file access.
+// Two pages conflict only when their IDs collide modulo this count.
+const ioStripes = 64
+
 // PageID identifies a page within a file. Page 0 is the header page and
 // is never handed out by Allocate.
 type PageID uint32
@@ -40,14 +65,56 @@ type PageID uint32
 const InvalidPage PageID = 0
 
 // Stats counts physical page operations since the store was opened (or
-// since ResetStats). CacheHits counts reads served by the buffer pool
-// without touching the backing file.
+// since ResetStats). All counters are atomic; a snapshot taken during
+// concurrent traffic is consistent per counter.
 type Stats struct {
-	Reads     uint64
-	Writes    uint64
-	Allocs    uint64
-	Frees     uint64
-	CacheHits uint64
+	// Reads and Writes count pages physically transferred to or from the
+	// backing file.
+	Reads  uint64
+	Writes uint64
+	Allocs uint64
+	Frees  uint64
+	// CacheHits counts reads served by the buffer pool without touching
+	// the backing file; CacheMisses counts reads that had to go to it.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Evictions counts frames dropped from the pool to make room.
+	Evictions uint64
+	// Coalesced counts readers of a cold page that piggybacked on
+	// another reader's in-flight file read instead of issuing their own
+	// (the single-flight saving: Coalesced misses cost no physical read).
+	Coalesced uint64
+}
+
+// storeStats is the atomic backing of Stats.
+type storeStats struct {
+	reads, writes, allocs, frees atomic.Uint64
+	cacheHits, cacheMisses       atomic.Uint64
+	evictions, coalesced         atomic.Uint64
+}
+
+func (s *storeStats) snapshot() Stats {
+	return Stats{
+		Reads:       s.reads.Load(),
+		Writes:      s.writes.Load(),
+		Allocs:      s.allocs.Load(),
+		Frees:       s.frees.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+		Evictions:   s.evictions.Load(),
+		Coalesced:   s.coalesced.Load(),
+	}
+}
+
+func (s *storeStats) reset() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.allocs.Store(0)
+	s.frees.Store(0)
+	s.cacheHits.Store(0)
+	s.cacheMisses.Store(0)
+	s.evictions.Store(0)
+	s.coalesced.Store(0)
 }
 
 // ErrChecksum is returned when a page read fails CRC verification.
@@ -59,6 +126,9 @@ var ErrPageRange = errors.New("pager: page id out of range")
 
 // File is the backing device abstraction: *os.File satisfies it, and
 // MemFile provides an in-memory equivalent for tests and benchmarks.
+// ReadAt and WriteAt must be safe for concurrent use (as io.ReaderAt
+// and io.WriterAt already require); the Store serialises overlapping
+// accesses to the same page itself.
 type File interface {
 	io.ReaderAt
 	io.WriterAt
@@ -123,14 +193,33 @@ func (f *MemFile) Len() int {
 	return len(f.buf)
 }
 
-// Store is a page store over a File. It is safe for concurrent use.
+// Store is a page store over a File. It is safe for concurrent use; see
+// the package comment for the locking design.
 type Store struct {
-	mu       sync.Mutex
-	file     File
-	numPages PageID // pages in the file, including the header page
+	file  File
+	pool  *pool
+	stats storeStats
+
+	// numPages is the number of pages in the file, including the header
+	// page; read lock-free on the hot path for range checks.
+	numPages atomic.Uint32
+
+	// io stripes serialise file access per page: readers of a page take
+	// the stripe's read lock, the writer its write lock, so a write can
+	// never tear a concurrent read of the same page while reads of
+	// different pages proceed in parallel.
+	io [ioStripes]sync.RWMutex
+
+	// flight coalesces concurrent cache misses on the same page onto one
+	// physical read.
+	flightMu sync.Mutex
+	flight   map[PageID]*flightCall
+
+	// meta guards the allocation state and the header image. Lock order:
+	// meta before any io stripe; the read path takes neither meta nor
+	// more than one stripe.
+	meta     sync.Mutex
 	freeHead PageID // head of the free-list chain, InvalidPage if none
-	cache    *lru
-	stats    Stats
 	dirtyHdr bool
 
 	// UserRoot is an application-owned page reference persisted in the
@@ -139,11 +228,31 @@ type Store struct {
 	userMeta [64]byte
 }
 
+// flightCall is one in-flight physical page read. done is closed once
+// frame/err are final; waiters that joined before completion share the
+// result.
+type flightCall struct {
+	done  chan struct{}
+	frame *Frame
+	err   error
+}
+
 // Options configures a Store.
 type Options struct {
-	// CacheSize is the LRU buffer-pool capacity in pages. Zero disables
-	// caching so every Read hits the backing file.
+	// CacheSize is the buffer-pool capacity in pages. Zero disables
+	// caching so every Read hits the backing file. The pool is sharded
+	// (up to 16 ways for large capacities), so the capacity is a total
+	// across shards and eviction is approximately LRU per shard.
 	CacheSize int
+}
+
+func newStore(f File, opt Options) *Store {
+	s := &Store{
+		file:   f,
+		flight: make(map[PageID]*flightCall),
+	}
+	s.pool = newPool(opt.CacheSize, &s.stats.evictions)
+	return s
 }
 
 // Create initialises a fresh store on f, truncating any prior content.
@@ -151,13 +260,10 @@ func Create(f File, opt Options) (*Store, error) {
 	if err := f.Truncate(0); err != nil {
 		return nil, fmt.Errorf("pager: truncate: %w", err)
 	}
-	s := &Store{
-		file:     f,
-		numPages: 1, // header
-		freeHead: InvalidPage,
-		cache:    newLRU(opt.CacheSize),
-		dirtyHdr: true,
-	}
+	s := newStore(f, opt)
+	s.numPages.Store(1) // header
+	s.freeHead = InvalidPage
+	s.dirtyHdr = true
 	if err := s.flushHeaderLocked(); err != nil {
 		return nil, err
 	}
@@ -166,7 +272,7 @@ func Create(f File, opt Options) (*Store, error) {
 
 // Open attaches to an existing store on f, validating the header.
 func Open(f File, opt Options) (*Store, error) {
-	s := &Store{file: f, cache: newLRU(opt.CacheSize)}
+	s := newStore(f, opt)
 	if err := s.readHeader(); err != nil {
 		return nil, err
 	}
@@ -204,27 +310,16 @@ func OpenFile(path string, opt Options) (*Store, *os.File, error) {
 // PayloadSize returns the usable bytes per page.
 func PayloadSize() int { return payloadSize }
 
-// Stats returns a snapshot of the operation counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+// Stats returns a snapshot of the operation counters. It takes no lock
+// and never blocks readers or writers.
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // ResetStats zeroes the operation counters.
-func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
-}
+func (s *Store) ResetStats() { s.stats.reset() }
 
 // NumPages returns the total number of pages in the file, including the
 // header page and any free pages.
-func (s *Store) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return int(s.numPages)
-}
+func (s *Store) NumPages() int { return int(s.numPages.Load()) }
 
 // SetUserRoot records an application root page and metadata blob (at most
 // 64 bytes) in the header. Call Sync to persist.
@@ -232,8 +327,8 @@ func (s *Store) SetUserRoot(root PageID, meta []byte) error {
 	if len(meta) > len(s.userMeta) {
 		return fmt.Errorf("pager: user meta %d bytes exceeds %d", len(meta), len(s.userMeta))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.meta.Lock()
+	defer s.meta.Unlock()
 	s.userRoot = root
 	s.userMeta = [64]byte{}
 	copy(s.userMeta[:], meta)
@@ -244,8 +339,8 @@ func (s *Store) SetUserRoot(root PageID, meta []byte) error {
 // UserRoot returns the application root page and metadata recorded in the
 // header.
 func (s *Store) UserRoot() (PageID, []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.meta.Lock()
+	defer s.meta.Unlock()
 	meta := make([]byte, len(s.userMeta))
 	copy(meta, s.userMeta[:])
 	return s.userRoot, meta
@@ -253,12 +348,12 @@ func (s *Store) UserRoot() (PageID, []byte) {
 
 // Allocate returns a fresh page, reusing a freed page when available.
 func (s *Store) Allocate() (PageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Allocs++
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	s.stats.allocs.Add(1)
 	if s.freeHead != InvalidPage {
 		id := s.freeHead
-		buf, err := s.readLocked(id)
+		buf, err := s.Read(id)
 		if err != nil {
 			return InvalidPage, err
 		}
@@ -266,28 +361,29 @@ func (s *Store) Allocate() (PageID, error) {
 		s.dirtyHdr = true
 		return id, nil
 	}
-	id := s.numPages
-	s.numPages++
-	s.dirtyHdr = true
-	// Materialise the page so reads within the file's range succeed.
-	if err := s.writeLocked(id, make([]byte, payloadSize)); err != nil {
+	id := PageID(s.numPages.Load())
+	// Materialise the page before publishing the new page count, so a
+	// racing reader can never pass the range check and find a hole.
+	if err := s.writePage(id, make([]byte, payloadSize)); err != nil {
 		return InvalidPage, err
 	}
+	s.numPages.Add(1)
+	s.dirtyHdr = true
 	return id, nil
 }
 
 // Free returns a page to the free list. The page's content is no longer
 // meaningful after Free.
 func (s *Store) Free(id PageID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.checkRange(id); err != nil {
 		return err
 	}
-	s.stats.Frees++
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	s.stats.frees.Add(1)
 	buf := make([]byte, payloadSize)
 	putBE32(buf[:4], uint32(s.freeHead))
-	if err := s.writeLocked(id, buf); err != nil {
+	if err := s.writePage(id, buf); err != nil {
 		return err
 	}
 	s.freeHead = id
@@ -295,43 +391,149 @@ func (s *Store) Free(id PageID) error {
 	return nil
 }
 
-// Read returns the payload of page id. The returned slice is a copy and
-// may be retained by the caller.
+// Read returns the payload of page id.
+//
+// Ownership contract: the returned slice is a shared, immutable frame
+// of the buffer pool and MUST be treated as read-only. It stays valid
+// indefinitely — a later Write to the page installs a new frame rather
+// than mutating this one, and eviction only ends pool residency — so
+// callers may retain it, but must copy before modifying. Decoding
+// callers (such as the R*-tree node store) read straight out of the
+// frame with zero copies.
 func (s *Store) Read(id PageID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkRange(id); err != nil {
-		return nil, err
-	}
-	buf, err := s.readLocked(id)
+	f, err := s.frame(id, false)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, payloadSize)
-	copy(out, buf)
-	return out, nil
+	return f.data, nil
+}
+
+// ReadPinned is Read returning the whole frame with one pin held: the
+// buffer pool will not evict the page until the caller calls Release.
+// Use it to keep hot pages (an index root, a directory page) resident
+// regardless of intervening scan traffic.
+func (s *Store) ReadPinned(id PageID) (*Frame, error) {
+	return s.frame(id, true)
+}
+
+// frame returns the current frame for id, from the pool when resident,
+// through a single-flight physical read otherwise.
+func (s *Store) frame(id PageID, pin bool) (*Frame, error) {
+	if err := s.checkRange(id); err != nil {
+		return nil, err
+	}
+	if f := s.pool.get(id, pin); f != nil {
+		s.stats.cacheHits.Add(1)
+		return f, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	f, err := s.fetch(id, pin)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// fetch coalesces concurrent misses on one page: the first caller
+// becomes the leader and performs the physical read; followers block on
+// the leader's result and are counted as Coalesced. A concurrent Write
+// to the page supersedes the flight entry so readers arriving after the
+// write start a fresh read and cannot observe pre-write data.
+func (s *Store) fetch(id PageID, pin bool) (*Frame, error) {
+	s.flightMu.Lock()
+	if c, ok := s.flight[id]; ok {
+		s.flightMu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		s.stats.coalesced.Add(1)
+		if pin {
+			// Best-effort pin: the frame is valid regardless; residency
+			// protection starts if the frame is (still) pooled.
+			c.frame.pins.Add(1)
+		}
+		return c.frame, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[id] = c
+	s.flightMu.Unlock()
+
+	c.frame, c.err = s.readPage(id, pin)
+
+	s.flightMu.Lock()
+	if s.flight[id] == c {
+		delete(s.flight, id)
+	}
+	s.flightMu.Unlock()
+	close(c.done)
+	return c.frame, c.err
+}
+
+// readPage performs the physical read under the page's stripe read
+// lock, verifies the checksum once, and installs the frame in the pool
+// before releasing the stripe — so a racing writer (which installs its
+// own frame under the stripe write lock) can never be overwritten by
+// stale bytes.
+func (s *Store) readPage(id PageID, pin bool) (*Frame, error) {
+	mu := &s.io[uint32(id)%ioStripes]
+	mu.RLock()
+	defer mu.RUnlock()
+	raw := make([]byte, PageSize)
+	if _, err := s.file.ReadAt(raw, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	s.stats.reads.Add(1)
+	payload := raw[:payloadSize:payloadSize]
+	want := be32(raw[payloadSize:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	f := &Frame{id: id, data: payload}
+	s.pool.put(f, pin)
+	return f, nil
 }
 
 // Write stores payload (at most PayloadSize bytes) into page id.
 func (s *Store) Write(id PageID, payload []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.checkRange(id); err != nil {
 		return err
 	}
 	if len(payload) > payloadSize {
 		return fmt.Errorf("pager: payload %d bytes exceeds page payload %d", len(payload), payloadSize)
 	}
-	buf := make([]byte, payloadSize)
-	copy(buf, payload)
-	return s.writeLocked(id, buf)
+	return s.writePage(id, payload)
+}
+
+// writePage writes through to the file and installs the fresh frame in
+// the pool, both under the page's stripe write lock, then supersedes
+// any in-flight read of the page.
+func (s *Store) writePage(id PageID, payload []byte) error {
+	raw := make([]byte, PageSize)
+	copy(raw, payload)
+	putBE32(raw[payloadSize:], crc32.ChecksumIEEE(raw[:payloadSize]))
+	mu := &s.io[uint32(id)%ioStripes]
+	mu.Lock()
+	if _, err := s.file.WriteAt(raw, int64(id)*PageSize); err != nil {
+		mu.Unlock()
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	s.stats.writes.Add(1)
+	s.pool.put(&Frame{id: id, data: raw[:payloadSize:payloadSize]}, false)
+	mu.Unlock()
+	// Readers that arrive after this write must not join a flight whose
+	// physical read predates it.
+	s.flightMu.Lock()
+	delete(s.flight, id)
+	s.flightMu.Unlock()
+	return nil
 }
 
 // Sync flushes the header. Page writes are write-through, so after Sync
 // the file is a complete, reopenable image.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.meta.Lock()
+	defer s.meta.Unlock()
 	if s.dirtyHdr {
 		return s.flushHeaderLocked()
 	}
@@ -339,40 +541,9 @@ func (s *Store) Sync() error {
 }
 
 func (s *Store) checkRange(id PageID) error {
-	if id == InvalidPage || id >= s.numPages {
-		return fmt.Errorf("%w: page %d of %d", ErrPageRange, id, s.numPages)
+	if n := PageID(s.numPages.Load()); id == InvalidPage || id >= n {
+		return fmt.Errorf("%w: page %d of %d", ErrPageRange, id, n)
 	}
-	return nil
-}
-
-func (s *Store) readLocked(id PageID) ([]byte, error) {
-	if buf, ok := s.cache.get(id); ok {
-		s.stats.CacheHits++
-		return buf, nil
-	}
-	raw := make([]byte, PageSize)
-	if _, err := s.file.ReadAt(raw, int64(id)*PageSize); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	s.stats.Reads++
-	payload := raw[:payloadSize]
-	want := be32(raw[payloadSize:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("%w: page %d", ErrChecksum, id)
-	}
-	s.cache.put(id, payload)
-	return payload, nil
-}
-
-func (s *Store) writeLocked(id PageID, payload []byte) error {
-	raw := make([]byte, PageSize)
-	copy(raw, payload)
-	putBE32(raw[payloadSize:], crc32.ChecksumIEEE(raw[:payloadSize]))
-	if _, err := s.file.WriteAt(raw, int64(id)*PageSize); err != nil {
-		return fmt.Errorf("pager: write page %d: %w", id, err)
-	}
-	s.stats.Writes++
-	s.cache.put(id, raw[:payloadSize])
 	return nil
 }
 
@@ -388,7 +559,7 @@ func (s *Store) flushHeaderLocked() error {
 	buf := make([]byte, payloadSize)
 	putBE32(buf[0:4], magic)
 	putBE32(buf[4:8], version)
-	putBE32(buf[8:12], uint32(s.numPages))
+	putBE32(buf[8:12], s.numPages.Load())
 	putBE32(buf[12:16], uint32(s.freeHead))
 	putBE32(buf[16:20], uint32(s.userRoot))
 	copy(buf[20:84], s.userMeta[:])
@@ -417,7 +588,7 @@ func (s *Store) readHeader() error {
 	if v := be32(payload[4:8]); v != version {
 		return fmt.Errorf("pager: unsupported version %d", v)
 	}
-	s.numPages = PageID(be32(payload[8:12]))
+	s.numPages.Store(be32(payload[8:12]))
 	s.freeHead = PageID(be32(payload[12:16]))
 	s.userRoot = PageID(be32(payload[16:20]))
 	copy(s.userMeta[:], payload[20:84])

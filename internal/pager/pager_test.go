@@ -7,7 +7,9 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func newTestStore(t *testing.T, cache int) (*Store, *MemFile) {
@@ -250,39 +252,303 @@ func TestCacheEviction(t *testing.T) {
 	}
 }
 
-func TestCacheReturnsCopies(t *testing.T) {
+// TestFrameStableAcrossWrite pins down the zero-copy ownership
+// contract: Read returns a shared immutable frame, and a later Write
+// installs a fresh frame instead of mutating the old one, so slices
+// handed out earlier keep their contents.
+func TestFrameStableAcrossWrite(t *testing.T) {
 	s, _ := newTestStore(t, 4)
 	id, _ := s.Allocate()
 	s.Write(id, []byte("immutable"))
-	got, _ := s.Read(id)
-	got[0] = 'X'
-	again, _ := s.Read(id)
-	if again[0] != 'i' {
-		t.Error("cache returned aliased buffer; mutation leaked")
+	old, _ := s.Read(id)
+	if err := s.Write(id, []byte("replaced!")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old[:9], []byte("immutable")) {
+		t.Errorf("earlier frame mutated by write: %q", old[:9])
+	}
+	fresh, _ := s.Read(id)
+	if !bytes.Equal(fresh[:9], []byte("replaced!")) {
+		t.Errorf("read after write = %q", fresh[:9])
 	}
 }
 
-func TestLRUZeroCapacity(t *testing.T) {
-	c := newLRU(0)
-	c.put(1, []byte("a"))
-	if _, ok := c.get(1); ok {
-		t.Error("zero-capacity cache stored a page")
+func TestPoolZeroCapacity(t *testing.T) {
+	var ev atomic.Uint64
+	p := newPool(0, &ev)
+	p.put(&Frame{id: 1, data: []byte("a")}, false)
+	if p.get(1, false) != nil {
+		t.Error("zero-capacity pool stored a frame")
 	}
-	if c.len() != 0 {
-		t.Error("zero-capacity cache non-empty")
+	if p.len() != 0 {
+		t.Error("zero-capacity pool non-empty")
 	}
 }
 
-func TestLRUDrop(t *testing.T) {
-	c := newLRU(4)
-	c.put(1, []byte("a"))
-	c.put(2, []byte("b"))
-	c.drop(1)
-	if _, ok := c.get(1); ok {
-		t.Error("dropped page still cached")
+func TestPoolDrop(t *testing.T) {
+	var ev atomic.Uint64
+	p := newPool(4, &ev)
+	p.put(&Frame{id: 1, data: []byte("a")}, false)
+	p.put(&Frame{id: 2, data: []byte("b")}, false)
+	p.drop(1)
+	if p.get(1, false) != nil {
+		t.Error("dropped page still pooled")
 	}
-	if _, ok := c.get(2); !ok {
+	if p.get(2, false) == nil {
 		t.Error("unrelated page evicted by drop")
+	}
+}
+
+// TestPoolEvictionOrder verifies LRU order within a shard: capacity 2
+// keeps the pool unsharded, so touching page 1 must make page 2 the
+// eviction victim.
+func TestPoolEvictionOrder(t *testing.T) {
+	var ev atomic.Uint64
+	p := newPool(2, &ev)
+	p.put(&Frame{id: 1, data: []byte("a")}, false)
+	p.put(&Frame{id: 2, data: []byte("b")}, false)
+	if p.get(1, false) == nil { // 1 becomes MRU; 2 is now LRU
+		t.Fatal("page 1 missing")
+	}
+	p.put(&Frame{id: 3, data: []byte("c")}, false)
+	if p.get(2, false) != nil {
+		t.Error("LRU page 2 survived eviction")
+	}
+	if p.get(1, false) == nil || p.get(3, false) == nil {
+		t.Error("MRU pages evicted out of order")
+	}
+	if ev.Load() != 1 {
+		t.Errorf("evictions = %d, want 1", ev.Load())
+	}
+}
+
+// TestPoolPinBlocksEviction verifies a pinned frame is rotated past by
+// eviction (the shard temporarily exceeding capacity if needed) and
+// becomes evictable again after Release.
+func TestPoolPinBlocksEviction(t *testing.T) {
+	var ev atomic.Uint64
+	p := newPool(2, &ev)
+	p.put(&Frame{id: 1, data: []byte("a")}, true) // pinned
+	p.put(&Frame{id: 2, data: []byte("b")}, false)
+	p.put(&Frame{id: 3, data: []byte("c")}, false) // evicts 2, not pinned 1
+	if p.get(1, false) == nil {
+		t.Error("pinned frame evicted")
+	}
+	if p.get(2, false) != nil {
+		t.Error("unpinned frame survived while pinned one was protected")
+	}
+	// Pin the survivors too: the shard must over-fill rather than evict.
+	if f := p.get(3, false); f == nil {
+		t.Fatal("page 3 missing")
+	} else {
+		f.pins.Add(1)
+	}
+	p.put(&Frame{id: 4, data: []byte("d")}, false)
+	if p.len() != 3 {
+		t.Errorf("pool len = %d, want 3 (over-capacity with all-pinned residents)", p.len())
+	}
+	// Releasing page 1 makes it the eviction victim on the next insert.
+	p.get(1, false).Release()
+	p.put(&Frame{id: 5, data: []byte("e")}, false)
+	if p.get(1, false) != nil {
+		t.Error("released frame not evicted under pressure")
+	}
+}
+
+// TestReadPinnedKeepsResident exercises pinning through the Store API:
+// a pinned page survives eviction pressure without physical rereads,
+// and is reclaimed normally once released.
+func TestReadPinnedKeepsResident(t *testing.T) {
+	s, _ := newTestStore(t, 2)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := s.Allocate()
+		if err := s.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	f, err := s.ReadPinned(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != ids[0] || f.Data()[0] != 0 {
+		t.Fatalf("pinned frame = id %d data %v", f.ID(), f.Data()[0])
+	}
+	// Churn every other page through the 2-frame pool.
+	for round := 0; round < 3; round++ {
+		for _, id := range ids[1:] {
+			if _, err := s.Read(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.ResetStats()
+	if _, err := s.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Reads != 0 || st.CacheHits != 1 {
+		t.Errorf("pinned page not resident under churn: %+v", st)
+	}
+	f.Release()
+	for round := 0; round < 3; round++ {
+		for _, id := range ids[1:] {
+			if _, err := s.Read(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.ResetStats()
+	if _, err := s.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Reads != 1 {
+		t.Errorf("released page still resident after churn: %+v", st)
+	}
+}
+
+// TestZeroCapacityPassthrough verifies a cache-disabled store reads the
+// file every time and counts every read as a miss.
+func TestZeroCapacityPassthrough(t *testing.T) {
+	s, _ := newTestStore(t, 0)
+	id, _ := s.Allocate()
+	if err := s.Write(id, []byte("cold")); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Reads != 3 || st.CacheMisses != 3 || st.CacheHits != 0 {
+		t.Errorf("passthrough stats = %+v", st)
+	}
+}
+
+// blockingFile gates ReadAt on non-header pages so a test can hold a
+// physical read open while other readers pile up behind it.
+type blockingFile struct {
+	*MemFile
+	gate    chan struct{} // close to let reads proceed
+	entered chan struct{} // receives one value per gated ReadAt entry
+}
+
+func (f *blockingFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= PageSize {
+		f.entered <- struct{}{}
+		<-f.gate
+	}
+	return f.MemFile.ReadAt(p, off)
+}
+
+// TestSingleFlightCoalescing holds one physical read open while K-1
+// more readers request the same cold page; they must coalesce onto the
+// leader's read: exactly one physical read, K-1 coalesced misses.
+func TestSingleFlightCoalescing(t *testing.T) {
+	mem := NewMemFile()
+	s, err := Create(mem, Options{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	if err := s.Write(id, []byte("cold page")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the store on a gated file so the page is cold again.
+	bf := &blockingFile{MemFile: mem, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	s2, err := Open(bf, Options{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	results := make(chan []byte, readers)
+	errs := make(chan error, readers)
+	wg.Add(1)
+	go func() { // leader: blocks inside ReadAt
+		defer wg.Done()
+		buf, err := s2.Read(id)
+		if err != nil {
+			errs <- err
+			return
+		}
+		results <- buf
+	}()
+	<-bf.entered // leader is inside the physical read
+	for i := 1; i < readers; i++ {
+		wg.Add(1)
+		go func() { // followers: must join the leader's flight
+			defer wg.Done()
+			buf, err := s2.Read(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- buf
+		}()
+	}
+	// Give followers time to reach the in-flight map, then open the gate.
+	time.Sleep(50 * time.Millisecond)
+	close(bf.gate)
+	wg.Wait()
+	close(errs)
+	close(results)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for buf := range results {
+		if !bytes.Equal(buf[:9], []byte("cold page")) {
+			t.Fatalf("coalesced read returned %q", buf[:9])
+		}
+	}
+	st := s2.Stats()
+	if st.Reads != 1 {
+		t.Errorf("physical reads = %d, want 1 (single-flight)", st.Reads)
+	}
+	if st.Coalesced != readers-1 {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, readers-1)
+	}
+	if st.CacheMisses != readers {
+		t.Errorf("misses = %d, want %d", st.CacheMisses, readers)
+	}
+}
+
+// TestPoolConcurrent hammers one pool from many goroutines mixing gets,
+// puts, pins and drops (run under -race).
+func TestPoolConcurrent(t *testing.T) {
+	var ev atomic.Uint64
+	p := newPool(64, &ev)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := PageID(1 + (g*7+i)%128)
+				switch i % 4 {
+				case 0:
+					p.put(&Frame{id: id, data: []byte{byte(i)}}, false)
+				case 1:
+					if f := p.get(id, true); f != nil {
+						f.Release()
+					}
+				case 2:
+					p.get(id, false)
+				default:
+					p.drop(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.len() > 96 { // 64 cap; transient pin overflow only
+		t.Errorf("pool len = %d after churn", p.len())
 	}
 }
 

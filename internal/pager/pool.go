@@ -1,0 +1,187 @@
+package pager
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The buffer pool is sharded by PageID so concurrent readers on
+// different pages take different locks. Each shard is an independent
+// LRU over immutable pinned frames; a cache hit touches exactly one
+// shard mutex for a map lookup and a list splice — no copying.
+const (
+	// maxPoolShards bounds the shard count; page IDs are assigned
+	// sequentially, so id & mask spreads hot neighbourhoods evenly.
+	maxPoolShards = 16
+	// minPagesPerShard keeps tiny pools unsharded so their LRU order
+	// stays meaningful (and deterministic for tests).
+	minPagesPerShard = 8
+)
+
+// Frame is one resident page image: an immutable payload shared,
+// zero-copy, by every reader that fetched it. Frames are never written
+// in place — a page write installs a fresh frame, so a slice handed out
+// earlier keeps its old contents and stays valid forever (eviction only
+// drops pool residency; the garbage collector reclaims the bytes when
+// the last holder lets go).
+//
+// The pin count is a residency guarantee: while a frame is pinned the
+// pool will not evict it, so hot pages (such as an index root) can be
+// kept memory-resident regardless of scan traffic. Pinning is not
+// needed for memory safety.
+type Frame struct {
+	id   PageID
+	data []byte // payloadSize bytes, read-only after construction
+	pins atomic.Int32
+}
+
+// ID returns the page this frame holds.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the frame's payload. The slice is shared and read-only.
+func (f *Frame) Data() []byte { return f.data }
+
+// Release undoes one pin obtained via Store.ReadPinned. The frame's
+// data remains valid afterwards; only its eviction protection ends.
+func (f *Frame) Release() { f.pins.Add(-1) }
+
+// pool is the sharded buffer pool. A nil-sharded pool (capacity 0) is a
+// valid passthrough that caches nothing.
+type pool struct {
+	shards []poolShard
+	mask   uint32
+	// evictions counts frames dropped to make room; it points at the
+	// owning store's atomic so Stats snapshots need no pool lock.
+	evictions *atomic.Uint64
+}
+
+type poolShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[PageID]*list.Element
+	order   *list.List // front = most recently used; values are *Frame
+}
+
+// newPool sizes the shard array to the capacity: one shard per
+// minPagesPerShard pages, at most maxPoolShards, so small pools stay
+// deterministic and large ones spread lock traffic.
+func newPool(capacity int, evictions *atomic.Uint64) *pool {
+	if capacity <= 0 {
+		return &pool{evictions: evictions}
+	}
+	n := 1
+	for n < maxPoolShards && capacity/(n*2) >= minPagesPerShard {
+		n *= 2
+	}
+	p := &pool{shards: make([]poolShard, n), mask: uint32(n - 1), evictions: evictions}
+	for i := range p.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		p.shards[i] = poolShard{
+			cap:     c,
+			entries: make(map[PageID]*list.Element, c),
+			order:   list.New(),
+		}
+	}
+	return p
+}
+
+func (p *pool) shard(id PageID) *poolShard {
+	return &p.shards[uint32(id)&p.mask]
+}
+
+// get returns the resident frame for id, nil on a miss. With pin set
+// the frame's pin count is raised under the shard lock, so the caller
+// holds an eviction-proof reference on return.
+func (p *pool) get(id PageID, pin bool) *Frame {
+	if p.shards == nil {
+		return nil
+	}
+	sh := p.shard(id)
+	sh.mu.Lock()
+	el, ok := sh.entries[id]
+	if !ok {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.order.MoveToFront(el)
+	f := el.Value.(*Frame)
+	if pin {
+		f.pins.Add(1)
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+// put installs f as the current frame for its page, replacing any prior
+// frame (holders of the old frame keep their stable old bytes). With
+// pin set the new frame is pinned before any eviction can see it.
+// Eviction walks from the LRU end, rotating pinned frames back to the
+// front; when every frame is pinned the shard is allowed to exceed its
+// capacity rather than evict a pinned frame.
+func (p *pool) put(f *Frame, pin bool) {
+	if p.shards == nil {
+		return
+	}
+	if pin {
+		f.pins.Add(1)
+	}
+	sh := p.shard(f.id)
+	sh.mu.Lock()
+	if el, ok := sh.entries[f.id]; ok {
+		el.Value = f
+		sh.order.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	el := sh.order.PushFront(f)
+	sh.entries[f.id] = el
+	for sh.order.Len() > sh.cap {
+		back := sh.order.Back()
+		if back == el {
+			// Every other frame is pinned; over-fill rather than evict
+			// the frame just inserted. (Each rotation below pushes el one
+			// step toward the back, so this bounds the loop.)
+			break
+		}
+		victim := back.Value.(*Frame)
+		if victim.pins.Load() > 0 {
+			sh.order.MoveToFront(back)
+			continue
+		}
+		sh.order.Remove(back)
+		delete(sh.entries, victim.id)
+		p.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// drop removes the frame for id, if resident (used when a page is
+// freed). Pinned or not, holders keep their bytes.
+func (p *pool) drop(id PageID) {
+	if p.shards == nil {
+		return
+	}
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.entries[id]; ok {
+		sh.order.Remove(el)
+		delete(sh.entries, id)
+	}
+	sh.mu.Unlock()
+}
+
+// len returns the number of resident frames across all shards.
+func (p *pool) len() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package rstar
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultNodeCacheSize is the decoded-node cache capacity used when the
+// caller does not choose one. At the paper's fan-out of 50, 1024 nodes
+// cover the full directory of a multi-million point tree, so steady-state
+// queries decode only leaf pages.
+const DefaultNodeCacheSize = 1024
+
+// nodeCacheShards spreads cache lock traffic across concurrent queries;
+// node IDs are page IDs, assigned sequentially, so id mod shards is
+// uniform.
+const nodeCacheShards = 8
+
+// nodeCache is a sharded LRU of decoded nodes keyed by NodeID, sitting
+// in front of PagedStore page reads so hot upper-tree nodes skip the
+// header parse and entry-slice allocations of decodeNode on every visit.
+//
+// Cached *Node values are shared between queries and must be treated as
+// read-only — the same contract Node already documents. Tree mutations
+// (which do modify nodes obtained from Get, then Put them) are exclusive
+// with queries per the Tree concurrency contract, and Put/Free drop the
+// mutated node's entry, so readers never observe a node mid-mutation.
+type nodeCache struct {
+	shards [nodeCacheShards]nodeCacheShard
+}
+
+type nodeCacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[NodeID]*list.Element
+	order   *list.List // front = most recently used; values are *Node
+}
+
+// newNodeCache returns a cache holding about capacity nodes in total,
+// or nil when capacity <= 0 (callers treat a nil cache as a miss).
+func newNodeCache(capacity int) *nodeCache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &nodeCache{}
+	for i := range c.shards {
+		per := capacity / nodeCacheShards
+		if i < capacity%nodeCacheShards {
+			per++
+		}
+		if per < 1 {
+			per = 1
+		}
+		c.shards[i] = nodeCacheShard{
+			cap:     per,
+			entries: make(map[NodeID]*list.Element, per),
+			order:   list.New(),
+		}
+	}
+	return c
+}
+
+func (c *nodeCache) shard(id NodeID) *nodeCacheShard {
+	return &c.shards[uint32(id)%nodeCacheShards]
+}
+
+func (c *nodeCache) get(id NodeID) *Node {
+	if c == nil {
+		return nil
+	}
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[id]
+	if !ok {
+		return nil
+	}
+	sh.order.MoveToFront(el)
+	return el.Value.(*Node)
+}
+
+// insertIfVersion installs n decoded at store version v, but only if the
+// store is still at that version — the check runs under the shard lock,
+// so a Put/Free that bumped the version after the caller's page read can
+// never be shadowed by the stale decode.
+func (c *nodeCache) insertIfVersion(n *Node, v uint64, current func() uint64) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(n.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if current() != v {
+		return
+	}
+	if el, ok := sh.entries[n.ID]; ok {
+		el.Value = n
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.entries[n.ID] = sh.order.PushFront(n)
+	for sh.order.Len() > sh.cap {
+		back := sh.order.Back()
+		delete(sh.entries, back.Value.(*Node).ID)
+		sh.order.Remove(back)
+	}
+}
+
+// drop removes id from the cache; called by Put and Free after the
+// version bump so in-flight decodes of the old bytes cannot re-enter.
+func (c *nodeCache) drop(id NodeID) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[id]; ok {
+		sh.order.Remove(el)
+		delete(sh.entries, id)
+	}
+}
+
+// len returns the number of cached nodes across all shards.
+func (c *nodeCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -20,9 +20,22 @@ import (
 //	[1:3]  entry count (uint16)
 //	leaf entries, 24 bytes each:      x float64, y float64, id uint64
 //	internal entries, 36 bytes each:  minx, miny, maxx, maxy float64, child uint32
+//
+// A decoded-node cache sits in front of the page reads so hot
+// upper-tree nodes are not re-decoded on every visit. The cache is
+// transparent to the paper's I/O accounting: Get counts one visit
+// whether the node came from the cache, the buffer pool, or the file —
+// a visit models touching the node, and which memory tier supplied the
+// bytes is the optimisation under study, not the metric.
 type PagedStore struct {
 	pages  *pager.Store
 	visits atomic.Uint64
+
+	// cache holds decoded nodes; nil when disabled. version is bumped by
+	// every Put/Free, letting concurrent Gets detect that the bytes they
+	// decoded are stale before inserting them (see insertIfVersion).
+	cache   *nodeCache
+	version atomic.Uint64
 }
 
 const (
@@ -38,9 +51,17 @@ func MaxPagedEntries() int {
 	return (pager.PayloadSize() - nodeHeaderSize) / internalEntrySize
 }
 
-// NewPagedStore wraps a pager.Store as a NodeStore.
+// NewPagedStore wraps a pager.Store as a NodeStore with the default
+// decoded-node cache.
 func NewPagedStore(pages *pager.Store) *PagedStore {
-	return &PagedStore{pages: pages}
+	return NewPagedStoreCache(pages, DefaultNodeCacheSize)
+}
+
+// NewPagedStoreCache wraps a pager.Store as a NodeStore with a
+// decoded-node cache holding about nodes entries; nodes <= 0 disables
+// the cache so every Get decodes from the page image.
+func NewPagedStoreCache(pages *pager.Store, nodes int) *PagedStore {
+	return &PagedStore{pages: pages, cache: newNodeCache(nodes)}
 }
 
 // Pages exposes the underlying page store (for stats and Sync).
@@ -56,27 +77,49 @@ func (s *PagedStore) Alloc(leaf bool) (*Node, error) {
 	return n, s.Put(n)
 }
 
-// Get implements NodeStore and counts one visit.
+// Get implements NodeStore and counts one visit. Cached nodes are
+// shared between callers and must be treated as read-only during
+// queries (mutating paths own the tree exclusively and invalidate via
+// Put/Free).
 func (s *PagedStore) Get(id NodeID) (*Node, error) {
+	if n := s.cache.get(id); n != nil {
+		s.visits.Add(1)
+		return n, nil
+	}
+	v := s.version.Load()
 	buf, err := s.pages.Read(pager.PageID(id))
 	if err != nil {
 		return nil, err
 	}
 	s.visits.Add(1)
-	return decodeNode(id, buf)
+	n, err := decodeNode(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.insertIfVersion(n, v, s.version.Load)
+	return n, nil
 }
 
-// Put implements NodeStore.
+// Put implements NodeStore. The order matters for concurrent readers:
+// write the page, bump the version (so a reader that read the old bytes
+// refuses to cache its decode), then drop any cached copy.
 func (s *PagedStore) Put(n *Node) error {
 	buf, err := encodeNode(n)
 	if err != nil {
 		return err
 	}
-	return s.pages.Write(pager.PageID(n.ID), buf)
+	if err := s.pages.Write(pager.PageID(n.ID), buf); err != nil {
+		return err
+	}
+	s.version.Add(1)
+	s.cache.drop(n.ID)
+	return nil
 }
 
-// Free implements NodeStore.
+// Free implements NodeStore, invalidating like Put.
 func (s *PagedStore) Free(id NodeID) error {
+	s.version.Add(1)
+	s.cache.drop(id)
 	return s.pages.Free(pager.PageID(id))
 }
 

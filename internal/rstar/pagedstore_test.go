@@ -1,8 +1,10 @@
 package rstar
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"nwcq/internal/geom"
@@ -222,5 +224,224 @@ func TestPagedDeleteStress(t *testing.T) {
 	}
 	if tr.Len() != 200 {
 		t.Fatalf("Len = %d, want 200", tr.Len())
+	}
+}
+
+// TestVisitsUnchangedByCachingLayers builds the same tree under three
+// cache configurations — everything cold, buffer pool only, buffer pool
+// plus decoded-node cache — and checks that identical queries report
+// identical visit counts. The caches may change where bytes come from,
+// never how many nodes the algorithm touches.
+func TestVisitsUnchangedByCachingLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := genPoints(rng, 2000, true)
+	queries := make([]geom.Rect, 40)
+	for i := range queries {
+		queries[i] = geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+	}
+
+	configs := []struct {
+		name      string
+		pageCache int
+		nodeCache int
+	}{
+		{"cold", 0, 0},
+		{"pool-only", 256, 0},
+		{"pool+nodes", 256, DefaultNodeCacheSize},
+	}
+	visits := make([][]uint64, len(configs))
+	for ci, cfg := range configs {
+		pages, err := pager.Create(pager.NewMemFile(), pager.Options{CacheSize: cfg.pageCache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := NewPagedStoreCache(pages, cfg.nodeCache)
+		tr, err := New(store, Options{MaxEntries: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := tr.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range queries {
+			tr.ResetVisits()
+			if _, err := tr.SearchCollect(q); err != nil {
+				t.Fatal(err)
+			}
+			visits[ci] = append(visits[ci], tr.Visits())
+		}
+		// Re-run the same queries on a warm cache: counts must not drop.
+		for qi, q := range queries {
+			tr.ResetVisits()
+			if _, err := tr.SearchCollect(q); err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.Visits(); got != visits[ci][qi] {
+				t.Fatalf("%s: query %d warm visits %d != cold visits %d",
+					cfg.name, qi, got, visits[ci][qi])
+			}
+		}
+	}
+	for ci := 1; ci < len(configs); ci++ {
+		for qi := range queries {
+			if visits[ci][qi] != visits[0][qi] {
+				t.Errorf("%s: query %d visits %d, want %d (as with no caches)",
+					configs[ci].name, qi, visits[ci][qi], visits[0][qi])
+			}
+		}
+	}
+}
+
+// TestNodeCacheInvalidation checks that Put and Free evict the decoded
+// node so readers never see stale entries.
+func TestNodeCacheInvalidation(t *testing.T) {
+	pages, err := pager.Create(pager.NewMemFile(), pager.Options{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewPagedStoreCache(pages, 64)
+	n, err := s.Alloc(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Points = append(n.Points, geom.Point{X: 1, Y: 2, ID: 3})
+	if err := s.Put(n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 1 || got.Points[0].ID != 3 {
+		t.Fatalf("first get = %+v", got)
+	}
+	if s.cache.len() == 0 {
+		t.Fatal("node not cached after get")
+	}
+
+	// Mutate-and-Put (the insert/delete pattern): next Get must decode
+	// the new image, not return the cached old one.
+	upd := &Node{ID: n.ID, Leaf: true,
+		Points: []geom.Point{{X: 1, Y: 2, ID: 3}, {X: 4, Y: 5, ID: 6}}}
+	if err := s.Put(upd); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 2 || got.Points[1].ID != 6 {
+		t.Fatalf("get after put = %+v", got)
+	}
+
+	if err := s.Free(n.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.get(n.ID) != nil {
+		t.Error("freed node still cached")
+	}
+}
+
+// TestNodeCacheStaleDecodeNotInserted drives the version check directly:
+// a decode that raced with a Put (read old bytes, then the store moved
+// on) must not enter the cache.
+func TestNodeCacheStaleDecodeNotInserted(t *testing.T) {
+	pages, err := pager.Create(pager.NewMemFile(), pager.Options{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewPagedStoreCache(pages, 64)
+	n, err := s.Alloc(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := &Node{ID: n.ID, Leaf: true}
+	v := s.version.Load()
+	s.version.Add(1) // a Put happened between the page read and the insert
+	s.cache.insertIfVersion(stale, v, s.version.Load)
+	if s.cache.get(n.ID) != nil {
+		t.Error("stale decode entered the cache")
+	}
+	s.cache.insertIfVersion(stale, s.version.Load(), s.version.Load)
+	if s.cache.get(n.ID) == nil {
+		t.Error("current-version decode rejected")
+	}
+}
+
+// TestPagedStoreConcurrentGetPut hammers one store with concurrent
+// readers and a writer (run under -race). Readers must always decode a
+// complete image — either the old or the new version of the node.
+func TestPagedStoreConcurrentGetPut(t *testing.T) {
+	pages, err := pager.Create(pager.NewMemFile(), pager.Options{CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewPagedStoreCache(pages, 64)
+	var ids []NodeID
+	for i := 0; i < 16; i++ {
+		n, err := s.Alloc(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Points = []geom.Point{{X: float64(i), Y: float64(i), ID: uint64(i)}}
+		if err := s.Put(n); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, n.ID)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: grows and rewrites nodes
+		defer wg.Done()
+		for round := 0; round < 200; round++ {
+			id := ids[round%len(ids)]
+			k := round/len(ids) + 2
+			n := &Node{ID: id, Leaf: true}
+			for j := 0; j < k; j++ {
+				n.Points = append(n.Points, geom.Point{ID: uint64(j)})
+			}
+			if err := s.Put(n); err != nil {
+				errs <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := s.Get(ids[(g*5+i)%len(ids)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Points IDs are always 0..len-1 in every version the
+				// writer installs, so a torn or stale-cached read shows
+				// up as a hole.
+				for j, p := range n.Points {
+					if int(p.ID) != j && len(n.Points) > 1 {
+						errs <- fmt.Errorf("goroutine %d: inconsistent node %d: %+v", g, n.ID, n.Points)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

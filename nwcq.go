@@ -46,6 +46,7 @@ import (
 	"nwcq/internal/geom"
 	"nwcq/internal/grid"
 	"nwcq/internal/iwp"
+	"nwcq/internal/pager"
 	"nwcq/internal/rstar"
 )
 
@@ -272,6 +273,9 @@ type Index struct {
 	engine  *core.Engine
 	options buildOptions
 	obs     *queryMetrics
+	// pageStats reports buffer-pool counters for paged indexes (nil for
+	// in-memory indexes); Metrics uses it to expose cache effectiveness.
+	pageStats func() pager.Stats
 	// iwpStale marks the IWP pointers invalid after Insert/Delete; the
 	// next query needing them rebuilds lazily (see mutate.go).
 	iwpStale bool
@@ -283,6 +287,12 @@ type buildOptions struct {
 	bulkLoad     bool
 	space        geom.Rect
 	spaceSet     bool
+	// pageCache / nodeCache apply to paged indexes only; the Set flags
+	// distinguish "explicitly zero" (disable) from "use the default".
+	pageCache    int
+	pageCacheSet bool
+	nodeCache    int
+	nodeCacheSet bool
 }
 
 // BuildOption configures Build.
@@ -304,6 +314,29 @@ func WithGridCellSize(s float64) BuildOption {
 // insertion — much faster for large static datasets.
 func WithBulkLoad() BuildOption {
 	return func(o *buildOptions) { o.bulkLoad = true }
+}
+
+// WithPageCacheSize sets the buffer-pool capacity, in 4096-byte pages,
+// of a paged index (default 256). The pool holds immutable page frames
+// shared zero-copy by concurrent readers; zero or negative disables
+// caching so every read reaches the file. In-memory indexes ignore it.
+func WithPageCacheSize(pages int) BuildOption {
+	return func(o *buildOptions) {
+		o.pageCache = pages
+		o.pageCacheSet = true
+	}
+}
+
+// WithNodeCacheSize sets the decoded-node cache capacity, in tree
+// nodes, of a paged index (default rstar.DefaultNodeCacheSize). The
+// cache keeps hot upper-tree nodes decoded between queries; zero or
+// negative disables it. Node-visit accounting is identical either way.
+// In-memory indexes ignore it.
+func WithNodeCacheSize(nodes int) BuildOption {
+	return func(o *buildOptions) {
+		o.nodeCache = nodes
+		o.nodeCacheSet = true
+	}
 }
 
 // WithSpace fixes the object space rectangle for the density grid.

@@ -98,6 +98,20 @@ type QueryKindMetrics struct {
 	NodeVisitsP99  float64 `json:"node_visits_p99"`
 }
 
+// PageCacheMetrics reports buffer-pool effectiveness for a paged index:
+// physical transfers, hit/miss/eviction counts, cold reads coalesced by
+// single-flight, and the resulting hit rate.
+type PageCacheMetrics struct {
+	Reads     uint64 `json:"reads"`
+	Writes    uint64 `json:"writes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+	// HitRate is Hits / (Hits + Misses), zero when no reads happened.
+	HitRate float64 `json:"hit_rate"`
+}
+
 // MetricsSnapshot is a point-in-time copy of the index's aggregated
 // observability state.
 type MetricsSnapshot struct {
@@ -110,6 +124,9 @@ type MetricsSnapshot struct {
 	// CumulativeNodeVisits is the index-wide atomic node-visit total
 	// (same value as IOStats).
 	CumulativeNodeVisits uint64 `json:"cumulative_node_visits"`
+	// PageCache reports buffer-pool counters; nil for in-memory indexes,
+	// which have no page cache.
+	PageCache *PageCacheMetrics `json:"page_cache,omitempty"`
 }
 
 // Metrics returns aggregated latency, error and I/O statistics over
@@ -145,6 +162,18 @@ func (ix *Index) Metrics() MetricsSnapshot {
 		if n := m.byScheme[i].Value(); n > 0 {
 			out.SchemeCounts[NewScheme(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0).String()] += n
 		}
+	}
+	if ix.pageStats != nil {
+		st := ix.pageStats()
+		pc := &PageCacheMetrics{
+			Reads: st.Reads, Writes: st.Writes,
+			Hits: st.CacheHits, Misses: st.CacheMisses,
+			Evictions: st.Evictions, Coalesced: st.Coalesced,
+		}
+		if total := pc.Hits + pc.Misses; total > 0 {
+			pc.HitRate = float64(pc.Hits) / float64(total)
+		}
+		out.PageCache = pc
 	}
 	return out
 }

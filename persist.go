@@ -14,8 +14,11 @@ import (
 
 // PagedIndex is an Index whose R*-tree nodes live on 4096-byte pages in
 // a file, one node per page — the disk-oriented form the paper's I/O
-// accounting assumes. Every page is checksummed (CRC-32) and reads go
-// through an LRU buffer pool.
+// accounting assumes. Every page is checksummed (CRC-32, verified once
+// when it enters the buffer pool) and reads go through a sharded pool
+// of immutable frames shared zero-copy by concurrent queries, with a
+// decoded-node cache above it; size both with WithPageCacheSize and
+// WithNodeCacheSize.
 //
 // The density grid and IWP pointers are derived structures; they are
 // rebuilt when the file is opened.
@@ -25,15 +28,36 @@ type PagedIndex struct {
 	file  *os.File
 }
 
-// PageStats mirrors the pager's physical operation counters.
+// PageStats mirrors the pager's operation counters.
 type PageStats struct {
-	Reads     uint64
-	Writes    uint64
-	CacheHits uint64
+	// Reads and Writes count physical page transfers.
+	Reads  uint64
+	Writes uint64
+	// CacheHits and CacheMisses count buffer-pool outcomes; Evictions
+	// counts frames dropped for room; Coalesced counts cold reads served
+	// by piggybacking on another reader's in-flight file read.
+	CacheHits   uint64
+	CacheMisses uint64
+	Evictions   uint64
+	Coalesced   uint64
 }
 
-// pagedOptions extends buildOptions with the buffer-pool size.
+// defaultPageCache is the buffer-pool capacity (in pages) used when
+// WithPageCacheSize is not given.
 const defaultPageCache = 256
+
+// resolveCaches applies the cache defaults for paged indexes.
+func (o *buildOptions) resolveCaches() (pageCache, nodeCache int) {
+	pageCache = defaultPageCache
+	if o.pageCacheSet {
+		pageCache = o.pageCache
+	}
+	nodeCache = rstar.DefaultNodeCacheSize
+	if o.nodeCacheSet {
+		nodeCache = o.nodeCache
+	}
+	return pageCache, nodeCache
+}
 
 // BuildPaged indexes points into a page file at path (created or
 // truncated), persists the tree, and returns a queryable index. Close
@@ -46,11 +70,12 @@ func BuildPaged(points []Point, path string, opts ...BuildOption) (*PagedIndex, 
 	if o.maxEntries > rstar.MaxPagedEntries() {
 		return nil, fmt.Errorf("nwcq: fan-out %d exceeds page capacity %d", o.maxEntries, rstar.MaxPagedEntries())
 	}
-	pages, f, err := pager.CreateFile(path, pager.Options{CacheSize: defaultPageCache})
+	pageCache, nodeCache := o.resolveCaches()
+	pages, f, err := pager.CreateFile(path, pager.Options{CacheSize: pageCache})
 	if err != nil {
 		return nil, err
 	}
-	store := rstar.NewPagedStore(pages)
+	store := rstar.NewPagedStoreCache(pages, nodeCache)
 	tree, err := rstar.New(store, rstar.Options{MaxEntries: o.maxEntries})
 	if err != nil {
 		f.Close()
@@ -93,11 +118,12 @@ func OpenPaged(path string, opts ...BuildOption) (*PagedIndex, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	pages, f, err := pager.OpenFile(path, pager.Options{CacheSize: defaultPageCache})
+	pageCache, nodeCache := o.resolveCaches()
+	pages, f, err := pager.OpenFile(path, pager.Options{CacheSize: pageCache})
 	if err != nil {
 		return nil, err
 	}
-	store := rstar.NewPagedStore(pages)
+	store := rstar.NewPagedStoreCache(pages, nodeCache)
 	tree, err := rstar.Attach(store, rstar.Options{MaxEntries: o.maxEntries})
 	if err != nil {
 		f.Close()
@@ -146,17 +172,22 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 	return &PagedIndex{
 		Index: Index{
 			points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
-			obs: newQueryMetrics(),
+			obs: newQueryMetrics(), pageStats: pages.Stats,
 		},
 		pages: pages,
 		file:  f,
 	}, nil
 }
 
-// PageStats returns the physical page-operation counters.
+// PageStats returns the pager's operation counters, including buffer-pool
+// effectiveness (hits, misses, evictions, coalesced cold reads).
 func (p *PagedIndex) PageStats() PageStats {
 	st := p.pages.Stats()
-	return PageStats{Reads: st.Reads, Writes: st.Writes, CacheHits: st.CacheHits}
+	return PageStats{
+		Reads: st.Reads, Writes: st.Writes,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		Evictions: st.Evictions, Coalesced: st.Coalesced,
+	}
 }
 
 // Sync flushes index metadata to the file.

@@ -98,3 +98,94 @@ func TestOpenPagedMissingFile(t *testing.T) {
 		t.Error("opening a missing file succeeded")
 	}
 }
+
+// TestCacheSizeOptions exercises WithPageCacheSize / WithNodeCacheSize:
+// a cache-disabled paged index answers identically (results and node
+// visits) to the default cached one, just with every read physical.
+func TestCacheSizeOptions(t *testing.T) {
+	pts := testPoints(2000, 12)
+	q := Query{X: 400, Y: 600, Length: 70, Width: 70, N: 5}
+
+	dir := t.TempDir()
+	cached, err := BuildPaged(pts, filepath.Join(dir, "cached.nwcq"), WithBulkLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	cold, err := BuildPaged(pts, filepath.Join(dir, "cold.nwcq"),
+		WithBulkLoad(), WithPageCacheSize(0), WithNodeCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+
+	a, err := cached.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cold.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Found != b.Found || math.Abs(a.Dist-b.Dist) > 1e-9 {
+		t.Fatalf("cached dist %g found=%v, cold dist %g found=%v", a.Dist, a.Found, b.Dist, b.Found)
+	}
+	if a.Stats.NodeVisits != b.Stats.NodeVisits {
+		t.Fatalf("cached visits %d, cold visits %d — caching changed the I/O metric", a.Stats.NodeVisits, b.Stats.NodeVisits)
+	}
+
+	// Cold store: every read is a physical page access.
+	st := cold.PageStats()
+	if st.CacheHits != 0 {
+		t.Errorf("cache-disabled index recorded %d hits", st.CacheHits)
+	}
+	if st.Reads == 0 {
+		t.Error("cache-disabled index recorded no physical reads")
+	}
+	// Cached store: repeated queries are served from the pool.
+	if _, err := cached.NWC(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := cached.PageStats(); st.CacheHits == 0 {
+		t.Error("cached index recorded no hits after repeated query")
+	}
+}
+
+// TestPagedMetricsExposePageCache checks the buffer-pool counters reach
+// Index.Metrics (and therefore the server's GET /metrics, which serialises
+// the same snapshot): present on paged indexes, absent on in-memory ones.
+func TestPagedMetricsExposePageCache(t *testing.T) {
+	pts := testPoints(1500, 13)
+	px, err := BuildPaged(pts, filepath.Join(t.TempDir(), "m.nwcq"), WithBulkLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	q := Query{X: 400, Y: 600, Length: 70, Width: 70, N: 5}
+	for i := 0; i < 3; i++ {
+		if _, err := px.NWC(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := px.Metrics()
+	if snap.PageCache == nil {
+		t.Fatal("paged index metrics missing page_cache")
+	}
+	if snap.PageCache.Writes == 0 {
+		t.Error("page_cache.writes = 0 after build")
+	}
+	if snap.PageCache.Hits == 0 {
+		t.Error("page_cache.hits = 0 after repeated queries")
+	}
+	if hr := snap.PageCache.HitRate; hr <= 0 || hr > 1 {
+		t.Errorf("hit_rate = %g, want (0, 1]", hr)
+	}
+
+	mem, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Metrics().PageCache != nil {
+		t.Error("in-memory index metrics carry page_cache")
+	}
+}
