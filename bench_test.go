@@ -10,6 +10,7 @@ package nwcq
 // versions with cmd/nwcbench -full.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -237,6 +238,54 @@ func BenchmarkNWCQuery(b *testing.B) {
 			}
 			b.ReportMetric(float64(env.Tree.Visits())/float64(b.N), "nodevisits/op")
 		})
+	}
+}
+
+// benchTraceIndex builds the public-API index and query list shared by
+// the trace-overhead benchmarks.
+func benchTraceIndex(b *testing.B) (*Index, []geom.Point) {
+	b.Helper()
+	raw := datagen.NYLikeN(10000, 1)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	idx, err := Build(pts, WithBulkLoad())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, harness.QueryPoints(64, 5)
+}
+
+// BenchmarkNWCTraceOff measures the ordinary (untraced) NWC query
+// through the public API. The instrumentation added for tracing is a
+// nil-check branch per point, so ns/op and allocs/op here must match
+// the pre-tracing numbers — compare against BenchmarkNWCTraceOn for
+// the price of a recorder.
+func BenchmarkNWCTraceOff(b *testing.B) {
+	idx, queries := benchTraceIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := idx.NWC(Query{X: q.X, Y: q.Y, Length: 60, Width: 60, N: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNWCTraceOn measures the same query with full tracing via
+// ExplainNWC: phase spans, pruning counters and the trace assembly.
+func BenchmarkNWCTraceOn(b *testing.B) {
+	idx, queries := benchTraceIndex(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, _, err := idx.ExplainNWC(ctx, Query{X: q.X, Y: q.Y, Length: 60, Width: 60, N: 8}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

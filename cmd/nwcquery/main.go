@@ -3,6 +3,7 @@
 //	nwcquery -data shops.csv -x 3100 -y 5280 -l 50 -w 50 -n 8
 //	nwcquery -data shops.csv -x 3100 -y 5280 -l 50 -w 50 -n 8 -k 3 -m 1
 //	nwcquery -data shops.csv -x 1 -y 1 -l 10 -w 10 -n 4 -scheme NWC+ -measure avg
+//	nwcquery -data shops.csv -x 3100 -y 5280 -l 50 -w 50 -n 8 -explain
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		scheme  = flag.String("scheme", "NWC*", "NWC, SRR, DIP, DEP, IWP, NWC+ or NWC*")
 		measure = flag.String("measure", "max", "max, min, avg or window")
 		bulk    = flag.Bool("bulk", true, "bulk-load the index")
+		explain = flag.Bool("explain", false, "trace the query and print the per-phase breakdown")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -72,30 +74,59 @@ func main() {
 
 	q := nwcq.Query{X: *x, Y: *y, Length: *l, Width: *w, N: *n, Scheme: sch, Measure: meas}
 	if *k <= 1 {
-		res, err := idx.NWC(q)
+		var (
+			res nwcq.Result
+			tr  *nwcq.QueryTrace
+		)
+		if *explain {
+			res, tr, err = idx.ExplainNWC(context.Background(), q)
+		} else {
+			res, err = idx.NWC(q)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		if !res.Found {
 			fmt.Println("no qualified window: no", *n, "objects fit a", *l, "x", *w, "window")
+			printTrace(tr)
 			return
 		}
 		printGroup(res.Group, 0)
 		printStats(res.Stats)
+		printTrace(tr)
 		return
 	}
-	res, err := idx.KNWCCtx(context.Background(), nwcq.KQuery{Query: q, K: *k, M: *m})
+	kq := nwcq.KQuery{Query: q, K: *k, M: *m}
+	var (
+		res nwcq.KResult
+		tr  *nwcq.QueryTrace
+	)
+	if *explain {
+		res, tr, err = idx.ExplainKNWC(context.Background(), kq)
+	} else {
+		res, err = idx.KNWCCtx(context.Background(), kq)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if !res.Found {
 		fmt.Println("no qualified window found")
+		printTrace(tr)
 		return
 	}
 	for i, g := range res.Groups {
 		printGroup(g, i+1)
 	}
 	printStats(res.Stats)
+	printTrace(tr)
+}
+
+func printTrace(tr *nwcq.QueryTrace) {
+	if tr == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Print(tr.Render())
 }
 
 func printGroup(g nwcq.Group, rank int) {

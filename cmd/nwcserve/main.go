@@ -2,17 +2,26 @@
 // service of the paper's motivating scenario.
 //
 //	nwcgen -dataset ca > ca.csv
-//	nwcserve -data ca.csv -addr :8080
+//	nwcserve -data ca.csv -addr :8080 -slowlog 100ms
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8'
+//	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8&explain=1'
 //	curl 'localhost:8080/knwc?x=5000&y=5000&l=50&w=50&n=8&k=3&m=1'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics?format=prometheus'
+//	curl 'localhost:8080/debug/slowlog'
+//	go tool pprof 'localhost:8080/debug/pprof/profile?seconds=10'
+//
+// Every request is logged through log/slog (text by default, JSON with
+// -log-format json); profiling endpoints are mounted under
+// /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -23,11 +32,20 @@ import (
 
 func main() {
 	var (
-		data = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
-		addr = flag.String("addr", ":8080", "listen address")
-		bulk = flag.Bool("bulk", true, "bulk-load the index")
+		data      = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		bulk      = flag.Bool("bulk", true, "bulk-load the index")
+		slowlog   = flag.Duration("slowlog", 0, "slow-query log threshold (0 disables), e.g. 100ms")
+		logFormat = flag.String("log-format", "text", "access log format: text or json")
+		accessLog = flag.Bool("access-log", true, "log every HTTP request")
 	)
 	flag.Parse()
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nwcserve: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "nwcserve: -data is required")
 		flag.Usage()
@@ -36,34 +54,93 @@ func main() {
 
 	f, err := os.Open(*data)
 	if err != nil {
-		log.Fatalf("nwcserve: %v", err)
+		fatal(logger, err)
 	}
 	raw, err := datagen.LoadCSV(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("nwcserve: %v", err)
+		fatal(logger, err)
 	}
 	pts := make([]nwcq.Point, len(raw))
 	for i, p := range raw {
 		pts[i] = nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}
 	}
-	var opts []nwcq.BuildOption
+	opts := []nwcq.BuildOption{nwcq.WithSlowQueryThreshold(*slowlog)}
 	if *bulk {
 		opts = append(opts, nwcq.WithBulkLoad())
 	}
 	started := time.Now()
 	idx, err := nwcq.Build(pts, opts...)
 	if err != nil {
-		log.Fatalf("nwcserve: %v", err)
+		fatal(logger, err)
 	}
-	log.Printf("indexed %d points in %v (tree height %d)", idx.Len(),
-		time.Since(started).Round(time.Millisecond), idx.TreeHeight())
+	logger.Info("indexed",
+		"points", idx.Len(),
+		"elapsed", time.Since(started).Round(time.Millisecond),
+		"tree_height", idx.TreeHeight(),
+		"slow_query_threshold", *slowlog)
 
+	mux := http.NewServeMux()
+	mux.Handle("/", server.New(idx).Handler())
+	// Profiling endpoints: CPU/heap/goroutine profiles for go tool pprof.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	var handler http.Handler = mux
+	if *accessLog {
+		handler = logRequests(logger, handler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(idx).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("serving NWC queries on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	logger.Info("serving NWC queries", "addr", *addr)
+	fatal(logger, srv.ListenAndServe())
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests wraps h with one structured access-log line per request.
+func logRequests(logger *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", rec.status,
+			"duration", time.Since(start).Round(time.Microsecond),
+			"remote", r.RemoteAddr)
+	})
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
 }

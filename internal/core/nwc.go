@@ -7,6 +7,7 @@ import (
 
 	"nwcq/internal/geom"
 	"nwcq/internal/rstar"
+	"nwcq/internal/trace"
 )
 
 // Result is the answer to an NWC query.
@@ -34,6 +35,14 @@ func (e *Engine) NWC(qy Query, scheme Scheme, measure Measure) (Result, Stats, e
 // the traversal stops and the context's error is returned, along with
 // the stats accumulated so far.
 func (e *Engine) NWCCtx(ctx context.Context, qy Query, scheme Scheme, measure Measure) (Result, Stats, error) {
+	return e.NWCTrace(ctx, qy, scheme, measure, nil)
+}
+
+// NWCTrace is NWCCtx with per-query structured tracing: when rec is
+// non-nil the traversal attributes wall time, node visits and pruning
+// decisions to algorithm phases on it. A nil rec costs the query path
+// one nil-check branch per instrumentation point and nothing else.
+func (e *Engine) NWCTrace(ctx context.Context, qy Query, scheme Scheme, measure Measure, rec *trace.Recorder) (Result, Stats, error) {
 	if err := qy.Validate(); err != nil {
 		return Result{}, Stats{}, err
 	}
@@ -53,7 +62,7 @@ func (e *Engine) NWCCtx(ctx context.Context, qy Query, scheme Scheme, measure Me
 				found = true
 			}
 		},
-		measure)
+		measure, rec)
 	if err != nil {
 		return Result{}, stats, err
 	}
@@ -129,10 +138,10 @@ func (pq *pqueue) pop() pqItem {
 // concurrent searches never share a mutable counter. The reader also
 // checks ctx before every node read, giving cancellation at node-visit
 // granularity.
-func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure) (Stats, error) {
+func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure, rec *trace.Recorder) (Stats, error) {
 	var st Stats
 	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
-	r := e.tree.Reader(ctx, &st.NodeVisits)
+	r := e.tree.Reader(ctx, &st.NodeVisits).WithTrace(rec)
 
 	// Working memory (heap, candidate buffer, selection scratch) is
 	// borrowed from a pool: under batch load the steady state allocates
@@ -140,6 +149,7 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 	sc := getScratch()
 	defer putScratch(sc)
 	pq := &sc.pq
+	rec.Enter(trace.PhaseDescent)
 	root, err := r.Node(e.tree.Root())
 	if err != nil {
 		return st, err
@@ -157,6 +167,7 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 			if scheme.DIP && !math.IsInf(b, 1) &&
 				geom.NodeWindowLowerBound2(q, it.mbr, l, w) >= b*b {
 				st.NodesPruned++
+				rec.Count(trace.CtrDIPPruned, 1)
 				continue
 			}
 			// DEP node pruning (Section 3.3.3): extend the MBR to cover
@@ -167,6 +178,7 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 				st.GridProbes++
 				if e.density.PrunesRect(geom.ExtendMBR(q, it.mbr, l, w), n) {
 					st.NodesPruned++
+					rec.Count(trace.CtrDEPPrunedNodes, 1)
 					continue
 				}
 			}
@@ -178,25 +190,34 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 				for _, p := range node.Points {
 					pq.push(pqItem{dist2: p.Dist2(q), id: node.ID, point: p})
 				}
+				rec.Heap(len(*pq))
 				continue
 			}
 			for i, r := range node.Rects {
 				pq.push(pqItem{dist2: r.MinDist2(q), isNode: true, id: node.Children[i], mbr: r})
 			}
+			rec.Heap(len(*pq))
 			continue
 		}
 
 		// Object item: generate and evaluate its candidate windows.
+		rec.Enter(trace.PhaseSRR)
 		st.ObjectsProcessed++
 		p := it.point
 		var sr geom.Rect
 		if scheme.SRR {
 			// SRR (Section 3.3.1): skip the object when every window it
 			// generates is at least bound away; otherwise shrink SR_p.
-			sr = geom.ShrinkSearchRegion(q, p, l, w, bound())
+			b := bound()
+			sr = geom.ShrinkSearchRegion(q, p, l, w, b)
 			if sr.IsEmpty() {
 				st.ObjectsSkipped++
+				rec.Count(trace.CtrSRRSkips, 1)
+				rec.Enter(trace.PhaseDescent)
 				continue
+			}
+			if !math.IsInf(b, 1) {
+				rec.Count(trace.CtrSRRShrinks, 1)
 			}
 		} else {
 			sr = geom.SearchRegion(q, p, l, w)
@@ -207,6 +228,8 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 			st.GridProbes++
 			if e.density.PrunesRect(sr, n) {
 				st.ObjectsSkipped++
+				rec.Count(trace.CtrDEPSkippedObjects, 1)
+				rec.Enter(trace.PhaseDescent)
 				continue
 			}
 		}
@@ -216,6 +239,7 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 			sc.buf = append(sc.buf, cp)
 			return true
 		}
+		rec.Enter(trace.PhaseWindowEnum)
 		if scheme.IWP {
 			err = e.iwpIdx.WindowQuery(r, it.id, sr, collect)
 		} else {
@@ -224,7 +248,10 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 		if err != nil {
 			return st, err
 		}
-		e.evaluateWindows(qy, p, sc, measure, bound, emit, &st)
+		rec.Candidates(len(sc.buf))
+		rec.Enter(trace.PhaseVerify)
+		e.evaluateWindows(qy, p, sc, measure, bound, emit, &st, rec)
+		rec.Enter(trace.PhaseDescent)
 	}
 	return st, nil
 }
@@ -236,7 +263,7 @@ func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func
 // sliding two-pointer over the y-sorted candidates counts each window's
 // population in amortised constant time. sc also supplies the Fenwick
 // and selection scratch, reused across anchors and queries.
-func (e *Engine) evaluateWindows(qy Query, p geom.Point, sc *searchScratch, measure Measure, bound func() float64, emit func(Group), st *Stats) {
+func (e *Engine) evaluateWindows(qy Query, p geom.Point, sc *searchScratch, measure Measure, bound func() float64, emit func(Group), st *Stats, rec *trace.Recorder) {
 	cands := sc.buf
 	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
 	// Every candidate window generated by p shares its x-interval; only
@@ -372,6 +399,7 @@ func (e *Engine) evaluateWindows(qy Query, p geom.Point, sc *searchScratch, meas
 			}
 		}
 		objs := nClosestScratch(q, s[lo:i+1], n, sc)
+		rec.Count(trace.CtrGroupsEmitted, 1)
 		emit(Group{
 			Objects: objs,
 			Dist:    groupDist(q, objs, win, measure),

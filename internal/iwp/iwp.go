@@ -30,6 +30,7 @@ import (
 
 	"nwcq/internal/geom"
 	"nwcq/internal/rstar"
+	"nwcq/internal/trace"
 )
 
 // Pointer references a tree node together with a copy of its MBR, so
@@ -269,6 +270,7 @@ func (ix *Index) WindowQuery(r rstar.Reader, leaf rstar.NodeID, rect geom.Rect, 
 	if rect.IsEmpty() {
 		return nil
 	}
+	rec := r.Recorder() // nil when tracing is off; every use is nil-safe
 	bps := ix.backward[leaf]
 	if len(bps) == 0 {
 		return fmt.Errorf("iwp: leaf %d has no backward pointers (stale index?)", leaf)
@@ -285,8 +287,14 @@ func (ix *Index) WindowQuery(r rstar.Reader, leaf rstar.NodeID, rect geom.Rect, 
 	if !covered {
 		// Not even the root MBR covers rect (search regions may stick out
 		// of the data space); searching from the root alone is complete.
+		rec.Count(trace.CtrIWPRootStarts, 1)
 		_, err := r.SearchFrom(ix.rootID, rect, fn)
 		return err
+	}
+	if start.Node == ix.rootID {
+		rec.Count(trace.CtrIWPRootStarts, 1)
+	} else {
+		rec.Count(trace.CtrIWPJumpStarts, 1)
 	}
 	stop := false
 	wrapped := func(p geom.Point) bool {
@@ -306,6 +314,7 @@ func (ix *Index) WindowQuery(r rstar.Reader, leaf rstar.NodeID, rect geom.Rect, 
 		if !ov.MBR.Intersects(rect) {
 			continue
 		}
+		rec.Count(trace.CtrIWPOverlapScans, 1)
 		if _, err := r.SearchFrom(ov.Node, rect, wrapped); err != nil {
 			return err
 		}

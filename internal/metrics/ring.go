@@ -1,0 +1,51 @@
+package metrics
+
+import "sync/atomic"
+
+// Ring is a fixed-capacity, lock-free ring of recent entries, the
+// storage behind the slow-query log. Writers claim a slot with one
+// atomic increment and publish with one atomic pointer store, so
+// recording never blocks a query; the newest entries overwrite the
+// oldest once the ring is full.
+//
+// Snapshot returns the retained entries in unspecified order (a writer
+// racing the snapshot may have claimed a slot it has not yet published;
+// callers sort by their own timestamp field). Entries are published as
+// pointers and never mutated afterwards, so readers need no copies.
+type Ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64
+}
+
+// NewRing builds a ring holding up to capacity entries (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[T], capacity)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Recorded returns the total number of entries ever put, including
+// those already overwritten.
+func (r *Ring[T]) Recorded() uint64 { return r.next.Load() }
+
+// Put publishes one entry, overwriting the oldest when full. v must not
+// be mutated after Put.
+func (r *Ring[T]) Put(v *T) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(v)
+}
+
+// Snapshot returns the currently retained entries, at most Cap of them.
+func (r *Ring[T]) Snapshot() []*T {
+	out := make([]*T, 0, len(r.slots))
+	for i := range r.slots {
+		if v := r.slots[i].Load(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		v := i
+		r.Put(&v)
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", r.Recorded())
+	}
+	got := map[int]bool{}
+	for _, v := range r.Snapshot() {
+		got[*v] = true
+	}
+	if len(got) != 4 {
+		t.Fatalf("Snapshot kept %d entries, want 4", len(got))
+	}
+	for i := 6; i < 10; i++ {
+		if !got[i] {
+			t.Errorf("newest entry %d missing from snapshot %v", i, got)
+		}
+	}
+}
+
+func TestRingMinCapacity(t *testing.T) {
+	r := NewRing[int](0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamped 1", r.Cap())
+	}
+	v := 7
+	r.Put(&v)
+	if s := r.Snapshot(); len(s) != 1 || *s[0] != 7 {
+		t.Fatalf("Snapshot = %v", s)
+	}
+}
+
+// TestRingConcurrent hammers Put and Snapshot from many goroutines; the
+// race detector verifies lock-freedom is actually data-race-free.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing[uint64](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 1000; i++ {
+				v := seed*1000 + i
+				r.Put(&v)
+				if i%64 == 0 {
+					for _, p := range r.Snapshot() {
+						_ = *p
+					}
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if r.Recorded() != 4000 {
+		t.Fatalf("Recorded = %d, want 4000", r.Recorded())
+	}
+	if len(r.Snapshot()) != 8 {
+		t.Fatalf("Snapshot = %d entries, want 8", len(r.Snapshot()))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"nwcq/internal/geom"
+	"nwcq/internal/trace"
 )
 
 // Reader is a read handle over a Tree that gives one query private,
@@ -27,6 +28,7 @@ type Reader struct {
 	t      *Tree
 	ctx    context.Context
 	visits *uint64
+	rec    *trace.Recorder
 }
 
 // Reader returns a read handle for one query. ctx may be nil, meaning
@@ -34,6 +36,19 @@ type Reader struct {
 func (t *Tree) Reader(ctx context.Context, visits *uint64) Reader {
 	return Reader{t: t, ctx: ctx, visits: visits}
 }
+
+// WithTrace returns a copy of the reader that attributes every node
+// visit to rec's current phase. rec may be nil (tracing off), in which
+// case the read path pays exactly one nil check per node access.
+func (r Reader) WithTrace(rec *trace.Recorder) Reader {
+	r.rec = rec
+	return r
+}
+
+// Recorder returns the trace recorder attached to this reader, nil when
+// tracing is off. Cooperating traversals (IWP's window queries) use it
+// to record their own decisions against the same trace.
+func (r Reader) Recorder() *trace.Recorder { return r.rec }
 
 // Tree returns the tree this reader reads.
 func (r Reader) Tree() *Tree { return r.t }
@@ -48,8 +63,11 @@ func (r Reader) Node(id NodeID) (*Node, error) {
 		}
 	}
 	n, err := r.t.store.Get(id)
-	if err == nil && r.visits != nil {
-		*r.visits++
+	if err == nil {
+		if r.visits != nil {
+			*r.visits++
+		}
+		r.rec.Visit() // nil-safe: one branch when tracing is off
 	}
 	return n, err
 }

@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	GET /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=]         one group
-//	GET /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=] k groups
+//	GET /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=][&explain=1] one group
+//	GET /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=][&explain=1] k groups
 //	GET /nearest?x=&y=&k=                                  plain k-NN
 //	GET /stats                                             index + I/O counters
-//	GET /metrics                                           latency/I-O histograms
+//	GET /metrics[?format=prometheus]                       latency/I-O histograms
+//	GET /debug/slowlog                                     slow-query ring
 //	GET /healthz                                           liveness
 //
 // Query handlers run under the request's context, so a client that
@@ -17,6 +18,11 @@
 // mid-flight. Request accounting is lock-free: per-endpoint counters
 // and latency histograms are atomic, so instrumentation adds no
 // contention between concurrent requests.
+//
+// Passing explain=1 to /nwc or /knwc runs the query with per-query
+// structured tracing enabled and attaches the phase-by-phase trace to
+// the response; /metrics?format=prometheus renders the same metrics in
+// the Prometheus text exposition format.
 package server
 
 import (
@@ -25,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -63,7 +70,7 @@ type Server struct {
 // New wraps an index.
 func New(idx *nwcq.Index) *Server {
 	s := &Server{idx: idx, endpoints: make(map[string]*endpointStats)}
-	for _, name := range []string{"nwc", "knwc", "nearest", "stats", "metrics"} {
+	for _, name := range []string{"nwc", "knwc", "nearest", "stats", "metrics", "slowlog"} {
 		s.endpoints[name] = newEndpointStats()
 	}
 	return s
@@ -77,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /nearest", s.instrument("nearest", s.handleNearest))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -266,23 +274,41 @@ func (s *Server) ok(w http.ResponseWriter, payload any) {
 	json.NewEncoder(w).Encode(payload)
 }
 
+// wantExplain reports whether the request opted into per-query tracing.
+func wantExplain(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleNWC(w http.ResponseWriter, r *http.Request) {
 	q, err := queryFromRequest(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.idx.NWCCtx(r.Context(), q)
+	var (
+		res nwcq.Result
+		qt  *nwcq.QueryTrace
+	)
+	if wantExplain(r) {
+		res, qt, err = s.idx.ExplainNWC(r.Context(), q)
+	} else {
+		res, err = s.idx.NWCCtx(r.Context(), q)
+	}
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
 	}
 	type response struct {
-		Found bool       `json:"found"`
-		Group *groupJSON `json:"group,omitempty"`
-		Stats statsJSON  `json:"stats"`
+		Found bool             `json:"found"`
+		Group *groupJSON       `json:"group,omitempty"`
+		Stats statsJSON        `json:"stats"`
+		Trace *nwcq.QueryTrace `json:"trace,omitempty"`
 	}
-	out := response{Found: res.Found, Stats: toStatsJSON(res.Stats)}
+	out := response{Found: res.Found, Stats: toStatsJSON(res.Stats), Trace: qt}
 	if res.Found {
 		g := toGroupJSON(res.Group)
 		out.Group = &g
@@ -313,17 +339,27 @@ func (s *Server) handleKNWC(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.idx.KNWCCtx(r.Context(), nwcq.KQuery{Query: q, K: k, M: m})
+	kq := nwcq.KQuery{Query: q, K: k, M: m}
+	var (
+		res nwcq.KResult
+		qt  *nwcq.QueryTrace
+	)
+	if wantExplain(r) {
+		res, qt, err = s.idx.ExplainKNWC(r.Context(), kq)
+	} else {
+		res, err = s.idx.KNWCCtx(r.Context(), kq)
+	}
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
 	}
 	type response struct {
-		Found  bool        `json:"found"`
-		Groups []groupJSON `json:"groups"`
-		Stats  statsJSON   `json:"stats"`
+		Found  bool             `json:"found"`
+		Groups []groupJSON      `json:"groups"`
+		Stats  statsJSON        `json:"stats"`
+		Trace  *nwcq.QueryTrace `json:"trace,omitempty"`
 	}
-	out := response{Found: res.Found, Groups: make([]groupJSON, 0, len(res.Groups)), Stats: toStatsJSON(res.Stats)}
+	out := response{Found: res.Found, Groups: make([]groupJSON, 0, len(res.Groups)), Stats: toStatsJSON(res.Stats), Trace: qt}
 	for _, g := range res.Groups {
 		out.Groups = append(out.Groups, toGroupJSON(g))
 	}
@@ -392,6 +428,10 @@ type endpointJSON struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.handleMetricsPrometheus(w)
+		return
+	}
 	eps := make(map[string]endpointJSON, len(s.endpoints))
 	for name, ep := range s.endpoints {
 		lat := ep.latency.Snapshot()
@@ -406,5 +446,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.ok(w, map[string]any{
 		"index":     s.idx.Metrics(),
 		"endpoints": eps,
+	})
+}
+
+// handleMetricsPrometheus renders the index metrics plus the server's
+// per-endpoint counters in the Prometheus text exposition format.
+func (s *Server) handleMetricsPrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.idx.WritePrometheus(w); err != nil {
+		return // client went away mid-write; nothing sensible to do
+	}
+	names := make([]string, 0, len(s.endpoints))
+	for name := range s.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP nwcq_http_requests_total HTTP requests served, by endpoint.\n# TYPE nwcq_http_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "nwcq_http_requests_total{endpoint=%q} %d\n", name, s.endpoints[name].requests.Value())
+	}
+	fmt.Fprintf(w, "# HELP nwcq_http_failures_total HTTP requests answered with status >= 400, by endpoint.\n# TYPE nwcq_http_failures_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "nwcq_http_failures_total{endpoint=%q} %d\n", name, s.endpoints[name].failures.Value())
+	}
+	fmt.Fprintf(w, "# HELP nwcq_http_latency_seconds HTTP request latency, by endpoint.\n# TYPE nwcq_http_latency_seconds histogram\n")
+	for _, name := range names {
+		snap := s.endpoints[name].latency.Snapshot()
+		cum := uint64(0)
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(w, "nwcq_http_latency_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		fmt.Fprintf(w, "nwcq_http_latency_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "nwcq_http_latency_seconds_sum{endpoint=%q} %s\n",
+			name, strconv.FormatFloat(snap.Sum, 'g', -1, 64))
+		fmt.Fprintf(w, "nwcq_http_latency_seconds_count{endpoint=%q} %d\n", name, cum)
+	}
+}
+
+// handleSlowlog serves the retained slow-query log entries, newest
+// first, plus the configured threshold.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	s.ok(w, map[string]any{
+		"threshold_ns": s.idx.SlowQueryThreshold(),
+		"entries":      s.idx.SlowQueries(),
 	})
 }

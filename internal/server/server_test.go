@@ -1,13 +1,19 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nwcq"
 )
@@ -257,6 +263,208 @@ func TestMetricsEndpoint(t *testing.T) {
 	ep := out.Endpoints["nwc"]
 	if ep.Requests != 2 || ep.Failures != 1 {
 		t.Errorf("endpoint nwc requests/failures = %d/%d, want 2/1", ep.Requests, ep.Failures)
+	}
+}
+
+func TestExplainParam(t *testing.T) {
+	_, ts := testServer(t)
+	type traced struct {
+		nwcResponse
+		Trace *struct {
+			Kind       string `json:"kind"`
+			Scheme     string `json:"scheme"`
+			NodeVisits uint64 `json:"node_visits"`
+			DurationNs int64  `json:"duration_ns"`
+			Phases     []struct {
+				Phase      string `json:"phase"`
+				NodeVisits uint64 `json:"node_visits"`
+			} `json:"phases"`
+		} `json:"trace"`
+	}
+	var plain traced
+	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=100&w=100&n=5", &plain)
+	if plain.Trace != nil {
+		t.Error("trace present without explain=1")
+	}
+	var out traced
+	code := getJSON(t, ts.URL+"/nwc?x=500&y=500&l=100&w=100&n=5&explain=1", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !out.Found {
+		t.Fatal("no result")
+	}
+	if out.Trace == nil {
+		t.Fatal("explain=1 returned no trace")
+	}
+	if out.Trace.Kind != "nwc" || out.Trace.Scheme == "" {
+		t.Errorf("trace kind/scheme = %q/%q", out.Trace.Kind, out.Trace.Scheme)
+	}
+	if out.Trace.NodeVisits != out.Stats.NodeVisits {
+		t.Errorf("trace visits %d != stats visits %d", out.Trace.NodeVisits, out.Stats.NodeVisits)
+	}
+	var sum uint64
+	for _, p := range out.Trace.Phases {
+		sum += p.NodeVisits
+	}
+	if sum != out.Stats.NodeVisits {
+		t.Errorf("phase visit sum %d != stats visits %d", sum, out.Stats.NodeVisits)
+	}
+	if out.Trace.DurationNs <= 0 {
+		t.Errorf("duration_ns = %d", out.Trace.DurationNs)
+	}
+
+	var kout traced
+	code = getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=4&k=2&m=1&explain=true", &kout)
+	if code != 200 {
+		t.Fatalf("knwc status %d", code)
+	}
+	if kout.Trace == nil || kout.Trace.Kind != "knwc" {
+		t.Fatalf("knwc trace = %+v", kout.Trace)
+	}
+}
+
+func TestSlowlogEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	s.idx.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+	var tmp nwcResponse
+	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
+	getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=3&k=2", &struct{}{})
+
+	var out struct {
+		ThresholdNs int64 `json:"threshold_ns"`
+		Entries     []struct {
+			Kind       string  `json:"kind"`
+			Scheme     string  `json:"scheme"`
+			X          float64 `json:"x"`
+			DurationNs int64   `json:"duration_ns"`
+			NodeVisits uint64  `json:"node_visits"`
+		} `json:"entries"`
+	}
+	code := getJSON(t, ts.URL+"/debug/slowlog", &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.ThresholdNs != 1 {
+		t.Errorf("threshold_ns = %d", out.ThresholdNs)
+	}
+	if len(out.Entries) != 2 {
+		t.Fatalf("%d slow entries, want 2", len(out.Entries))
+	}
+	kinds := map[string]bool{}
+	for _, e := range out.Entries {
+		kinds[e.Kind] = true
+		if e.DurationNs <= 0 || e.NodeVisits == 0 {
+			t.Errorf("entry %+v lacks duration/visits", e)
+		}
+		if e.X != 500 {
+			t.Errorf("entry x = %g", e.X)
+		}
+	}
+	if !kinds["nwc"] || !kinds["knwc"] {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+// promLine matches a Prometheus 0.0.4 sample line:
+// metric_name{label="v",...} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? \S+$`)
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	_, ts := testServer(t)
+	var tmp nwcResponse
+	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
+	getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=3&k=2", &struct{}{})
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+
+	values := map[string]float64{}
+	typed := map[string]string{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := values[`nwcq_queries_total{kind="nwc"}`]; v != 1 {
+		t.Errorf("nwcq_queries_total{kind=nwc} = %g, want 1", v)
+	}
+	if v := values[`nwcq_index_points`]; v != 3000 {
+		t.Errorf("nwcq_index_points = %g", v)
+	}
+	if typed["nwcq_query_latency_seconds"] != "histogram" {
+		t.Errorf("latency family type = %q", typed["nwcq_query_latency_seconds"])
+	}
+	// Histogram invariants: +Inf bucket equals count, buckets cumulative.
+	inf := -1.0
+	type bkt struct{ le, v float64 }
+	var buckets []bkt
+	for name, v := range values {
+		if !strings.HasPrefix(name, `nwcq_query_latency_seconds_bucket{kind="nwc"`) {
+			continue
+		}
+		le := name[strings.Index(name, `le="`)+4:]
+		le = le[:strings.IndexByte(le, '"')]
+		if le == "+Inf" {
+			inf = v
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("bad le %q: %v", le, err)
+		}
+		buckets = append(buckets, bkt{f, v})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].v < buckets[i-1].v {
+			t.Errorf("bucket le=%g count %g < previous %g: not cumulative", buckets[i].le, buckets[i].v, buckets[i-1].v)
+		}
+	}
+	count := values[`nwcq_query_latency_seconds_count{kind="nwc"}`]
+	if inf != count || count != 1 {
+		t.Errorf("+Inf bucket %g != count %g (want 1)", inf, count)
+	}
+	if values[`nwcq_http_requests_total{endpoint="nwc"}`] != 1 {
+		t.Errorf("http requests for nwc = %g", values[`nwcq_http_requests_total{endpoint="nwc"}`])
 	}
 }
 

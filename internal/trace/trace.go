@@ -1,0 +1,263 @@
+// Package trace provides the per-query structured tracing recorder
+// threaded through the NWC query path. A Recorder accumulates, per
+// phase of the algorithm, wall time (monotonic, via time.Now's
+// monotonic reading), node visits and pruning-decision counts, plus
+// scratch-structure high-water marks.
+//
+// The recorder is deliberately nil-tolerant: every method is a no-op on
+// a nil *Recorder, and callers hold a plain pointer that is nil when
+// tracing is off. The disabled query path therefore pays exactly one
+// predictable nil-check branch per instrumentation point — no clock
+// reads, no atomics, no allocation — which keeps tracing "zero cost
+// when off" within measurement noise.
+//
+// A Recorder belongs to exactly one query and is not safe for
+// concurrent use; queries are the unit of tracing, and each builds its
+// own.
+package trace
+
+import "time"
+
+// Phase identifies one stage of the NWC/kNWC algorithm. Phases are not
+// strictly sequential — the best-first loop interleaves them — so the
+// recorder accumulates total duration, entry count and node visits per
+// phase rather than a flat span list.
+type Phase uint8
+
+const (
+	// PhaseValidate covers parameter validation and query setup.
+	PhaseValidate Phase = iota
+	// PhaseDescent covers the best-first R*-tree traversal: popping
+	// heap items, DIP/DEP node pruning and reading index nodes.
+	PhaseDescent
+	// PhaseSRR covers search-region construction and SRR shrinking for
+	// each anchor object, including DEP's window-query cancellation.
+	PhaseSRR
+	// PhaseWindowEnum covers window-query execution (IWP or
+	// traditional root descent) collecting candidate objects.
+	PhaseWindowEnum
+	// PhaseVerify covers candidate-window enumeration and verification
+	// against the pruning bound (evaluateWindows).
+	PhaseVerify
+	// PhaseDedup covers kNWC candidate-pool maintenance: dedup,
+	// ordered insert and the greedy selection refresh.
+	PhaseDedup
+
+	// PhaseCount is the number of phases.
+	PhaseCount
+)
+
+var phaseNames = [PhaseCount]string{
+	"validate", "descent", "srr", "window-enum", "verify", "knwc-dedup",
+}
+
+// String returns the phase's stable lower-case name.
+func (p Phase) String() string {
+	if p < PhaseCount {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Counter identifies one pruning/decision count the recorder tracks
+// beyond what per-query Stats already carries (Stats aggregates SRR+DEP
+// skips and DIP+DEP prunes; the trace splits them by rule).
+type Counter uint8
+
+const (
+	// CtrSRRShrinks counts anchor objects whose search region was
+	// shrunk by SRR under a finite bound.
+	CtrSRRShrinks Counter = iota
+	// CtrSRRSkips counts anchor objects skipped outright because SRR
+	// shrank their search region to empty.
+	CtrSRRSkips
+	// CtrDIPPruned counts index nodes pruned by DIP.
+	CtrDIPPruned
+	// CtrDEPPrunedNodes counts index nodes pruned by DEP.
+	CtrDEPPrunedNodes
+	// CtrDEPSkippedObjects counts anchor objects whose window query DEP
+	// cancelled.
+	CtrDEPSkippedObjects
+	// CtrGroupsEmitted counts groups that survived every gate and were
+	// offered to the result (best-group update or kNWC pool).
+	CtrGroupsEmitted
+	// CtrIWPJumpStarts counts window queries IWP started below the root
+	// via a backward pointer.
+	CtrIWPJumpStarts
+	// CtrIWPRootStarts counts window queries that fell back to a
+	// root-start (no backward-pointer MBR covered the rectangle).
+	CtrIWPRootStarts
+	// CtrIWPOverlapScans counts overlapping-node subtree scans IWP ran
+	// to restore completeness after a below-root start.
+	CtrIWPOverlapScans
+	// CtrDedupOffered counts groups offered to the kNWC candidate pool.
+	CtrDedupOffered
+	// CtrDedupAccepted counts offers that entered the pool (new object
+	// set, or an improved distance for a known set).
+	CtrDedupAccepted
+
+	// CounterCount is the number of counters.
+	CounterCount
+)
+
+var counterNames = [CounterCount]string{
+	"srr_shrinks", "srr_skips", "dip_pruned_nodes", "dep_pruned_nodes",
+	"dep_skipped_objects", "groups_emitted", "iwp_jump_starts",
+	"iwp_root_starts", "iwp_overlap_scans", "dedup_offered",
+	"dedup_accepted",
+}
+
+// String returns the counter's stable snake_case name.
+func (c Counter) String() string {
+	if c < CounterCount {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// Recorder accumulates one query's trace. The zero value is not usable;
+// construct with New. All methods are no-ops on a nil receiver.
+type Recorder struct {
+	start    time.Time
+	cur      Phase
+	curStart time.Time
+	finished bool
+	total    time.Duration
+
+	durs     [PhaseCount]time.Duration
+	entered  [PhaseCount]int
+	visits   [PhaseCount]uint64
+	counters [CounterCount]int64
+
+	heapHW int // best-first priority-queue high-water mark
+	candHW int // window-query candidate buffer high-water mark
+}
+
+// New starts a recorder in PhaseValidate.
+func New() *Recorder {
+	now := time.Now()
+	r := &Recorder{start: now, cur: PhaseValidate, curStart: now}
+	r.entered[PhaseValidate] = 1
+	return r
+}
+
+// Enter switches the recorder to phase p, closing the span of the
+// current phase. Re-entering the current phase is a no-op (the span
+// keeps running).
+func (r *Recorder) Enter(p Phase) {
+	if r == nil || r.finished || p == r.cur || p >= PhaseCount {
+		return
+	}
+	now := time.Now()
+	r.durs[r.cur] += now.Sub(r.curStart)
+	r.cur = p
+	r.curStart = now
+	r.entered[p]++
+}
+
+// Visit attributes one node visit to the current phase.
+func (r *Recorder) Visit() {
+	if r == nil || r.finished {
+		return
+	}
+	r.visits[r.cur]++
+}
+
+// Count adds n to counter c.
+func (r *Recorder) Count(c Counter, n int64) {
+	if r == nil || r.finished || c >= CounterCount {
+		return
+	}
+	r.counters[c] += n
+}
+
+// Heap raises the priority-queue high-water mark to n if larger.
+func (r *Recorder) Heap(n int) {
+	if r == nil || n <= r.heapHW {
+		return
+	}
+	r.heapHW = n
+}
+
+// Candidates raises the candidate-buffer high-water mark to n if
+// larger.
+func (r *Recorder) Candidates(n int) {
+	if r == nil || n <= r.candHW {
+		return
+	}
+	r.candHW = n
+}
+
+// Finish closes the current span and freezes the total duration.
+// Further Enter/Visit/Count calls are ignored. Finish is idempotent.
+func (r *Recorder) Finish() {
+	if r == nil || r.finished {
+		return
+	}
+	now := time.Now()
+	r.durs[r.cur] += now.Sub(r.curStart)
+	r.curStart = now
+	r.total = now.Sub(r.start)
+	r.finished = true
+}
+
+// PhaseSnapshot is one phase's accumulated trace.
+type PhaseSnapshot struct {
+	Phase    Phase
+	Duration time.Duration
+	Entered  int
+	Visits   uint64
+}
+
+// Snapshot is a completed recorder's state, ready for presentation.
+type Snapshot struct {
+	Start time.Time
+	Total time.Duration
+	// Phases lists every phase that was entered at least once, in
+	// algorithm order.
+	Phases   []PhaseSnapshot
+	Counters [CounterCount]int64
+	// HeapHighWater and CandidateHighWater are the peak sizes of the
+	// best-first priority queue and the window-query candidate buffer.
+	HeapHighWater      int
+	CandidateHighWater int
+}
+
+// Snapshot finishes the recorder (if not already finished) and returns
+// its accumulated state. A nil recorder yields a zero Snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.Finish()
+	s := Snapshot{
+		Start:              r.start,
+		Total:              r.total,
+		Counters:           r.counters,
+		HeapHighWater:      r.heapHW,
+		CandidateHighWater: r.candHW,
+	}
+	for p := Phase(0); p < PhaseCount; p++ {
+		if r.entered[p] == 0 {
+			continue
+		}
+		s.Phases = append(s.Phases, PhaseSnapshot{
+			Phase:    p,
+			Duration: r.durs[p],
+			Entered:  r.entered[p],
+			Visits:   r.visits[p],
+		})
+	}
+	return s
+}
+
+// VisitTotal sums the per-phase node-visit counts — by construction it
+// equals the query's Stats.NodeVisits when every node read went through
+// a reader carrying this recorder.
+func (s Snapshot) VisitTotal() uint64 {
+	var n uint64
+	for _, p := range s.Phases {
+		n += p.Visits
+	}
+	return n
+}

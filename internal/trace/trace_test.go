@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsNoOp pins the zero-cost-when-off contract: every
+// method must be callable on a nil *Recorder.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Enter(PhaseDescent)
+	r.Visit()
+	r.Count(CtrDIPPruned, 3)
+	r.Heap(10)
+	r.Candidates(10)
+	r.Finish()
+	s := r.Snapshot()
+	if s.Total != 0 || len(s.Phases) != 0 || s.VisitTotal() != 0 {
+		t.Fatalf("nil recorder produced non-zero snapshot: %+v", s)
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := New()
+	r.Visit() // validate
+	r.Enter(PhaseDescent)
+	r.Visit()
+	r.Visit()
+	r.Count(CtrDIPPruned, 2)
+	r.Heap(5)
+	r.Heap(3) // lower: must not regress the high-water mark
+	r.Enter(PhaseSRR)
+	r.Count(CtrSRRShrinks, 1)
+	r.Enter(PhaseDescent) // re-entry accumulates into the same phase
+	r.Visit()
+	r.Candidates(40)
+	r.Finish()
+
+	s := r.Snapshot()
+	if got := s.VisitTotal(); got != 4 {
+		t.Fatalf("VisitTotal = %d, want 4", got)
+	}
+	byPhase := map[Phase]PhaseSnapshot{}
+	for _, p := range s.Phases {
+		byPhase[p.Phase] = p
+	}
+	if byPhase[PhaseDescent].Visits != 3 {
+		t.Errorf("descent visits = %d, want 3", byPhase[PhaseDescent].Visits)
+	}
+	if byPhase[PhaseDescent].Entered != 2 {
+		t.Errorf("descent entered = %d, want 2", byPhase[PhaseDescent].Entered)
+	}
+	if byPhase[PhaseValidate].Visits != 1 {
+		t.Errorf("validate visits = %d, want 1", byPhase[PhaseValidate].Visits)
+	}
+	if s.Counters[CtrDIPPruned] != 2 || s.Counters[CtrSRRShrinks] != 1 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.HeapHighWater != 5 || s.CandidateHighWater != 40 {
+		t.Errorf("high-water = %d/%d, want 5/40", s.HeapHighWater, s.CandidateHighWater)
+	}
+	if s.Total <= 0 {
+		t.Errorf("total duration %v not positive", s.Total)
+	}
+	var sum time.Duration
+	for _, p := range s.Phases {
+		sum += p.Duration
+	}
+	if sum > s.Total {
+		t.Errorf("phase durations %v exceed total %v", sum, s.Total)
+	}
+}
+
+// TestFinishFreezes pins that a finished recorder ignores further
+// recording, so a trace cannot drift after it is reported.
+func TestFinishFreezes(t *testing.T) {
+	r := New()
+	r.Enter(PhaseDescent)
+	r.Visit()
+	r.Finish()
+	total := r.Snapshot().Total
+	r.Enter(PhaseVerify)
+	r.Visit()
+	s := r.Snapshot()
+	if s.VisitTotal() != 1 {
+		t.Errorf("visits after Finish leaked: %d", s.VisitTotal())
+	}
+	if s.Total != total {
+		t.Errorf("total changed after Finish: %v -> %v", total, s.Total)
+	}
+	for _, p := range s.Phases {
+		if p.Phase == PhaseVerify {
+			t.Errorf("phase entered after Finish leaked into snapshot")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < PhaseCount; p++ {
+		n := p.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("phase %d has bad name %q", p, n)
+		}
+		seen[n] = true
+	}
+	for c := Counter(0); c < CounterCount; c++ {
+		n := c.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("counter %d has bad name %q", c, n)
+		}
+		seen[n] = true
+	}
+	if Phase(200).String() != "unknown" || Counter(200).String() != "unknown" {
+		t.Fatalf("out-of-range names not guarded")
+	}
+}

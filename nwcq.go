@@ -48,6 +48,7 @@ import (
 	"nwcq/internal/iwp"
 	"nwcq/internal/pager"
 	"nwcq/internal/rstar"
+	"nwcq/internal/trace"
 )
 
 // Point is a data object: a location and a caller-owned identifier.
@@ -273,6 +274,10 @@ type Index struct {
 	engine  *core.Engine
 	options buildOptions
 	obs     *queryMetrics
+	// slow is the slow-query log (lock-free ring + atomic threshold);
+	// created anchors the uptime reported by Metrics.
+	slow    *slowLog
+	created time.Time
 	// pageStats reports buffer-pool counters for paged indexes (nil for
 	// in-memory indexes); Metrics uses it to expose cache effectiveness.
 	pageStats func() pager.Stats
@@ -293,6 +298,8 @@ type buildOptions struct {
 	pageCacheSet bool
 	nodeCache    int
 	nodeCacheSet bool
+	// slowThreshold enables the slow-query log when positive.
+	slowThreshold time.Duration
 }
 
 // BuildOption configures Build.
@@ -419,7 +426,7 @@ func Build(points []Point, opts ...BuildOption) (*Index, error) {
 	}
 	return &Index{
 		points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
-		obs: newQueryMetrics(),
+		obs: newQueryMetrics(), slow: newSlowLog(o.slowThreshold), created: time.Now(),
 	}, nil
 }
 
@@ -448,12 +455,14 @@ func (ix *Index) NWC(q Query) (Result, error) {
 // Stats is computed in isolation, exact under any concurrency.
 func (ix *Index) NWCCtx(ctx context.Context, q Query) (Result, error) {
 	start := time.Now()
-	res, err := ix.nwc(ctx, q)
-	ix.obs.observe(kindNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	res, err := ix.nwc(ctx, q, nil)
+	elapsed := time.Since(start)
+	ix.obs.observe(kindNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
+	ix.noteSlow(kindNWC, q, 0, 0, start, elapsed, res.Stats.NodeVisits, err)
 	return res, err
 }
 
-func (ix *Index) nwc(ctx context.Context, q Query) (Result, error) {
+func (ix *Index) nwc(ctx context.Context, q Query, rec *trace.Recorder) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -467,9 +476,9 @@ func (ix *Index) nwc(ctx context.Context, q Query) (Result, error) {
 			return Result{}, err
 		}
 	}
-	res, st, err := ix.engine.NWCCtx(ctx, core.Query{
+	res, st, err := ix.engine.NWCTrace(ctx, core.Query{
 		Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N,
-	}, scheme, measure)
+	}, scheme, measure, rec)
 	if err != nil {
 		return Result{Stats: statsFrom(st)}, err
 	}
@@ -486,12 +495,14 @@ func (ix *Index) nwc(ctx context.Context, q Query) (Result, error) {
 // query's isolated Stats. Context semantics match NWCCtx.
 func (ix *Index) KNWCCtx(ctx context.Context, q KQuery) (KResult, error) {
 	start := time.Now()
-	res, err := ix.knwc(ctx, q)
-	ix.obs.observe(kindKNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	res, err := ix.knwc(ctx, q, nil)
+	elapsed := time.Since(start)
+	ix.obs.observe(kindKNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
+	ix.noteSlow(kindKNWC, q.Query, q.K, q.M, start, elapsed, res.Stats.NodeVisits, err)
 	return res, err
 }
 
-func (ix *Index) knwc(ctx context.Context, q KQuery) (KResult, error) {
+func (ix *Index) knwc(ctx context.Context, q KQuery, rec *trace.Recorder) (KResult, error) {
 	if err := q.Validate(); err != nil {
 		return KResult{}, err
 	}
@@ -505,10 +516,10 @@ func (ix *Index) knwc(ctx context.Context, q KQuery) (KResult, error) {
 			return KResult{}, err
 		}
 	}
-	groups, st, err := ix.engine.KNWCCtx(ctx, core.KNWCQuery{
+	groups, st, err := ix.engine.KNWCTrace(ctx, core.KNWCQuery{
 		Query: core.Query{Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N},
 		K:     q.K, M: q.M,
-	}, scheme, measure)
+	}, scheme, measure, rec)
 	if err != nil {
 		return KResult{Stats: statsFrom(st)}, err
 	}

@@ -1,6 +1,10 @@
 package nwcq
 
 import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
 	"time"
 
 	"nwcq/internal/metrics"
@@ -115,6 +119,10 @@ type PageCacheMetrics struct {
 // MetricsSnapshot is a point-in-time copy of the index's aggregated
 // observability state.
 type MetricsSnapshot struct {
+	// CollectedAt is when the snapshot was taken; UptimeSeconds is the
+	// time since the index was built or opened.
+	CollectedAt   time.Time `json:"collected_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
 	// Queries maps operation name ("nwc", "knwc", "nearest", "window")
 	// to its aggregates.
 	Queries map[string]QueryKindMetrics `json:"queries"`
@@ -134,7 +142,10 @@ type MetricsSnapshot struct {
 // queries; the snapshot is built from atomic reads.
 func (ix *Index) Metrics() MetricsSnapshot {
 	m := ix.obs
+	now := time.Now()
 	out := MetricsSnapshot{
+		CollectedAt:          now,
+		UptimeSeconds:        now.Sub(ix.created).Seconds(),
 		Queries:              make(map[string]QueryKindMetrics, kindCount),
 		SchemeCounts:         make(map[string]uint64),
 		CumulativeNodeVisits: ix.tree.Visits(),
@@ -175,5 +186,141 @@ func (ix *Index) Metrics() MetricsSnapshot {
 		}
 		out.PageCache = pc
 	}
+	return out
+}
+
+// WritePrometheus renders the index's metrics in the Prometheus text
+// exposition format (version 0.0.4): one counter family per query
+// kind, full latency and node-visit histograms with cumulative
+// buckets, per-scheme counts, and the page-cache counters for paged
+// indexes. The server exposes it at GET /metrics?format=prometheus.
+func (ix *Index) WritePrometheus(w io.Writer) error {
+	m := ix.obs
+	pw := &promWriter{w: w}
+	pw.header("nwcq_queries_total", "counter", "Queries served, by operation kind.")
+	for k := queryKind(0); k < kindCount; k++ {
+		pw.value("nwcq_queries_total", labels{"kind", kindNames[k]}, float64(m.queries[k].Value()))
+	}
+	pw.header("nwcq_query_errors_total", "counter", "Failed queries, by operation kind.")
+	for k := queryKind(0); k < kindCount; k++ {
+		pw.value("nwcq_query_errors_total", labels{"kind", kindNames[k]}, float64(m.errors[k].Value()))
+	}
+	pw.header("nwcq_query_latency_seconds", "histogram", "Query latency, by operation kind.")
+	for k := queryKind(0); k < kindCount; k++ {
+		pw.histogram("nwcq_query_latency_seconds", labels{"kind", kindNames[k]}, m.latency[k].Snapshot())
+	}
+	pw.header("nwcq_query_node_visits", "histogram", "Per-query R*-tree node visits (nwc and knwc only).")
+	for _, k := range []queryKind{kindNWC, kindKNWC} {
+		pw.histogram("nwcq_query_node_visits", labels{"kind", kindNames[k]}, m.visits[k].Snapshot())
+	}
+	pw.header("nwcq_scheme_queries_total", "counter", "NWC/kNWC queries, by resolved optimisation scheme.")
+	schemes := make(map[string]uint64)
+	for i := range m.byScheme {
+		if n := m.byScheme[i].Value(); n > 0 {
+			schemes[NewScheme(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0).String()] += n
+		}
+	}
+	for _, name := range sortedKeys(schemes) {
+		pw.value("nwcq_scheme_queries_total", labels{"scheme", name}, float64(schemes[name]))
+	}
+	pw.header("nwcq_node_visits_total", "counter", "Cumulative R*-tree node visits across all queries.")
+	pw.value("nwcq_node_visits_total", nil, float64(ix.tree.Visits()))
+	pw.header("nwcq_index_points", "gauge", "Points currently indexed.")
+	pw.value("nwcq_index_points", nil, float64(ix.tree.Len()))
+	pw.header("nwcq_uptime_seconds", "gauge", "Seconds since the index was built or opened.")
+	pw.value("nwcq_uptime_seconds", nil, time.Since(ix.created).Seconds())
+	pw.header("nwcq_slow_queries_total", "counter", "Queries that exceeded the slow-query threshold.")
+	pw.value("nwcq_slow_queries_total", nil, float64(ix.slow.ring.Recorded()))
+	if ix.pageStats != nil {
+		st := ix.pageStats()
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"nwcq_page_cache_reads_total", "Physical page reads.", st.Reads},
+			{"nwcq_page_cache_writes_total", "Physical page writes.", st.Writes},
+			{"nwcq_page_cache_hits_total", "Buffer-pool hits.", st.CacheHits},
+			{"nwcq_page_cache_misses_total", "Buffer-pool misses.", st.CacheMisses},
+			{"nwcq_page_cache_evictions_total", "Frames evicted for room.", st.Evictions},
+			{"nwcq_page_cache_coalesced_total", "Cold reads coalesced by single-flight.", st.Coalesced},
+		} {
+			pw.header(c.name, "counter", c.help)
+			pw.value(c.name, nil, float64(c.v))
+		}
+	}
+	return pw.err
+}
+
+// labels is a flat name/value pair list ({"kind", "nwc"} renders as
+// {kind="nwc"}).
+type labels []string
+
+func (l labels) with(extra ...string) labels {
+	return append(append(labels{}, l...), extra...)
+}
+
+func (l labels) String() string {
+	if len(l) == 0 {
+		return ""
+	}
+	s := "{"
+	for i := 0; i+1 < len(l); i += 2 {
+		if i > 0 {
+			s += ","
+		}
+		s += l[i] + `="` + l[i+1] + `"`
+	}
+	return s + "}"
+}
+
+// promWriter emits Prometheus text-format lines, remembering the first
+// write error so call sites stay linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) value(name string, l labels, v float64) {
+	p.printf("%s%s %s\n", name, l.String(), formatPromValue(v))
+}
+
+// histogram renders one histogram with Prometheus's cumulative buckets:
+// every _bucket line counts observations at or below its le bound, the
+// +Inf bucket equals _count.
+func (p *promWriter) histogram(name string, l labels, s metrics.HistogramSnapshot) {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		p.value(name+"_bucket", l.with("le", formatPromValue(bound)), float64(cum))
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	p.value(name+"_bucket", l.with("le", "+Inf"), float64(cum))
+	p.value(name+"_sum", l, s.Sum)
+	p.value(name+"_count", l, float64(cum))
+}
+
+// formatPromValue renders a float the way Prometheus clients expect:
+// shortest round-trip representation, integers without an exponent.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }

@@ -3,6 +3,7 @@ package nwcq
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"nwcq/internal/core"
 	"nwcq/internal/geom"
@@ -173,6 +174,7 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 		Index: Index{
 			points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
 			obs: newQueryMetrics(), pageStats: pages.Stats,
+			slow: newSlowLog(o.slowThreshold), created: time.Now(),
 		},
 		pages: pages,
 		file:  f,

@@ -1,0 +1,347 @@
+package nwcq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"nwcq/internal/metrics"
+	"nwcq/internal/trace"
+)
+
+// Per-query structured tracing and the slow-query log.
+//
+// ExplainNWC and ExplainKNWC run a query with a trace recorder attached
+// to its tree reader: every node visit, pruning decision and phase
+// transition of the algorithm is attributed to the phase it happened
+// in, with monotonic timestamps. The ordinary query path carries a nil
+// recorder, so tracing costs it exactly one nil-check branch per
+// instrumentation point — no clocks, no atomics, no allocation (see
+// BenchmarkNWCTraceOff/BenchmarkNWCTraceOn).
+//
+// The slow-query log is a lock-free ring (internal/metrics.Ring) of the
+// most recent queries that exceeded a configurable latency threshold;
+// recording is one atomic increment plus one pointer store, off the
+// fast path entirely while the threshold is unset.
+
+// PhaseTrace is one algorithm phase's share of a traced query. Phases
+// interleave during the best-first traversal, so Duration and
+// NodeVisits are totals accumulated across Entered entries.
+type PhaseTrace struct {
+	// Phase names the stage: "validate", "descent", "srr",
+	// "window-enum", "verify" or "knwc-dedup".
+	Phase string `json:"phase"`
+	// Duration is the wall time spent in the phase (monotonic clock).
+	Duration time.Duration `json:"duration_ns"`
+	// Entered counts how many times the traversal switched into the
+	// phase.
+	Entered int `json:"entered"`
+	// NodeVisits counts R*-tree nodes read while in the phase; summed
+	// over all phases it equals the query's Stats.NodeVisits.
+	NodeVisits uint64 `json:"node_visits"`
+}
+
+// TraceCounters itemises the pruning and routing decisions of a traced
+// query, splitting by rule what Stats aggregates (ObjectsSkipped is
+// SRRSkips+DEPSkippedObjects; NodesPruned is DIPPruned+DEPPrunedNodes).
+type TraceCounters struct {
+	// SRRShrinks counts anchor objects whose search region SRR shrank
+	// under a finite bound; SRRSkips counts those it eliminated.
+	SRRShrinks int64 `json:"srr_shrinks"`
+	SRRSkips   int64 `json:"srr_skips"`
+	// DIPPrunedNodes and DEPPrunedNodes count index nodes pruned by
+	// each rule; DEPSkippedObjects counts window queries DEP cancelled.
+	DIPPrunedNodes    int64 `json:"dip_pruned_nodes"`
+	DEPPrunedNodes    int64 `json:"dep_pruned_nodes"`
+	DEPSkippedObjects int64 `json:"dep_skipped_objects"`
+	// GridProbes counts density-grid upper-bound probes.
+	GridProbes int64 `json:"grid_probes"`
+	// WindowQueries counts window queries issued; CandidateWindows and
+	// QualifiedWindows count windows enumerated and windows holding at
+	// least N objects; GroupsEmitted counts groups that survived every
+	// distance gate and reached the result (or the kNWC pool).
+	WindowQueries    int64 `json:"window_queries"`
+	CandidateWindows int64 `json:"candidate_windows"`
+	QualifiedWindows int64 `json:"qualified_windows"`
+	GroupsEmitted    int64 `json:"groups_emitted"`
+	// IWPJumpStarts counts window queries started below the root via a
+	// backward pointer, IWPRootStarts those that fell back to the root,
+	// and IWPOverlapScans the overlapping-node subtree scans run to
+	// restore completeness after a below-root start.
+	IWPJumpStarts   int64 `json:"iwp_jump_starts"`
+	IWPRootStarts   int64 `json:"iwp_root_starts"`
+	IWPOverlapScans int64 `json:"iwp_overlap_scans"`
+	// DedupOffered and DedupAccepted count kNWC candidate-pool traffic:
+	// groups offered, and offers that entered the pool.
+	DedupOffered  int64 `json:"dedup_offered"`
+	DedupAccepted int64 `json:"dedup_accepted"`
+}
+
+// QueryTrace is the structured trace of one explained query.
+type QueryTrace struct {
+	// Kind is "nwc" or "knwc".
+	Kind string `json:"kind"`
+	// Scheme and Measure are the resolved scheme and distance measure.
+	Scheme  string `json:"scheme"`
+	Measure string `json:"measure"`
+	// StartedAt is the wall-clock start; Duration the monotonic total.
+	StartedAt time.Time     `json:"started_at"`
+	Duration  time.Duration `json:"duration_ns"`
+	// NodeVisits is the query's total I/O cost; it equals the sum of
+	// the per-phase NodeVisits.
+	NodeVisits uint64 `json:"node_visits"`
+	// Phases lists every phase entered, in algorithm order.
+	Phases   []PhaseTrace  `json:"phases"`
+	Counters TraceCounters `json:"counters"`
+	// HeapHighWater and CandidateHighWater are the peak sizes of the
+	// best-first priority queue and the window-query candidate buffer —
+	// the query's two growable scratch structures.
+	HeapHighWater      int `json:"heap_high_water"`
+	CandidateHighWater int `json:"candidate_high_water"`
+}
+
+// String returns the measure's name ("max", "min", "avg", "window").
+func (m Measure) String() string {
+	im, err := m.internal()
+	if err != nil {
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+	return im.String()
+}
+
+// queryTraceFrom assembles the public trace from a finished recorder
+// and the query's Stats (which supplies the counters both share).
+func queryTraceFrom(kind string, scheme Scheme, measure Measure, rec *trace.Recorder, st Stats) *QueryTrace {
+	s := rec.Snapshot()
+	qt := &QueryTrace{
+		Kind:       kind,
+		Scheme:     scheme.String(),
+		Measure:    measure.String(),
+		StartedAt:  s.Start,
+		Duration:   s.Total,
+		NodeVisits: st.NodeVisits,
+		Counters: TraceCounters{
+			SRRShrinks:        s.Counters[trace.CtrSRRShrinks],
+			SRRSkips:          s.Counters[trace.CtrSRRSkips],
+			DIPPrunedNodes:    s.Counters[trace.CtrDIPPruned],
+			DEPPrunedNodes:    s.Counters[trace.CtrDEPPrunedNodes],
+			DEPSkippedObjects: s.Counters[trace.CtrDEPSkippedObjects],
+			GridProbes:        int64(st.GridProbes),
+			WindowQueries:     int64(st.WindowQueries),
+			CandidateWindows:  int64(st.CandidateWindows),
+			QualifiedWindows:  int64(st.QualifiedWindows),
+			GroupsEmitted:     s.Counters[trace.CtrGroupsEmitted],
+			IWPJumpStarts:     s.Counters[trace.CtrIWPJumpStarts],
+			IWPRootStarts:     s.Counters[trace.CtrIWPRootStarts],
+			IWPOverlapScans:   s.Counters[trace.CtrIWPOverlapScans],
+			DedupOffered:      s.Counters[trace.CtrDedupOffered],
+			DedupAccepted:     s.Counters[trace.CtrDedupAccepted],
+		},
+		HeapHighWater:      s.HeapHighWater,
+		CandidateHighWater: s.CandidateHighWater,
+	}
+	for _, p := range s.Phases {
+		qt.Phases = append(qt.Phases, PhaseTrace{
+			Phase:      p.Phase.String(),
+			Duration:   p.Duration,
+			Entered:    p.Entered,
+			NodeVisits: p.Visits,
+		})
+	}
+	return qt
+}
+
+// Render formats the trace as an indented phase tree for terminals:
+// one line per phase with its share of time and I/O, and detail lines
+// for the pruning decisions that happened inside it.
+func (t *QueryTrace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s scheme=%s measure=%s total=%v visits=%d\n",
+		t.Kind, t.Scheme, t.Measure, t.Duration.Round(time.Microsecond), t.NodeVisits)
+	c := t.Counters
+	details := map[string][]string{
+		"descent": joinNonZero(
+			kv("dip-pruned", c.DIPPrunedNodes), kv("dep-pruned", c.DEPPrunedNodes),
+			kv("heap-high-water", int64(t.HeapHighWater))),
+		"srr": joinNonZero(
+			kv("shrunk", c.SRRShrinks), kv("skipped", c.SRRSkips),
+			kv("dep-cancelled", c.DEPSkippedObjects), kv("grid-probes", c.GridProbes)),
+		"window-enum": joinNonZero(
+			kv("window-queries", c.WindowQueries), kv("iwp-jump-starts", c.IWPJumpStarts),
+			kv("iwp-root-starts", c.IWPRootStarts), kv("iwp-overlap-scans", c.IWPOverlapScans),
+			kv("candidate-high-water", int64(t.CandidateHighWater))),
+		"verify": joinNonZero(
+			kv("windows", c.CandidateWindows), kv("qualified", c.QualifiedWindows),
+			kv("groups-emitted", c.GroupsEmitted)),
+		"knwc-dedup": joinNonZero(
+			kv("offered", c.DedupOffered), kv("accepted", c.DedupAccepted)),
+	}
+	for i, p := range t.Phases {
+		branch, stem := "├─", "│"
+		if i == len(t.Phases)-1 {
+			branch, stem = "└─", " "
+		}
+		fmt.Fprintf(&b, "%s %-12s %10v  entered=%-5d visits=%d\n",
+			branch, p.Phase, p.Duration.Round(time.Microsecond), p.Entered, p.NodeVisits)
+		for _, d := range details[p.Phase] {
+			fmt.Fprintf(&b, "%s      %s\n", stem, d)
+		}
+	}
+	return b.String()
+}
+
+func kv(name string, v int64) string {
+	if v == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s=%d", name, v)
+}
+
+func joinNonZero(parts ...string) []string {
+	var kept []string
+	for _, p := range parts {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return []string{strings.Join(kept, " ")}
+}
+
+// ExplainNWC answers an NWC query with tracing enabled, returning the
+// result alongside its structured trace. The query still contributes to
+// Metrics and the slow-query log like any other.
+func (ix *Index) ExplainNWC(ctx context.Context, q Query) (Result, *QueryTrace, error) {
+	rec := trace.New()
+	start := time.Now()
+	res, err := ix.nwc(ctx, q, rec)
+	elapsed := time.Since(start)
+	ix.obs.observe(kindNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
+	ix.noteSlow(kindNWC, q, 0, 0, start, elapsed, res.Stats.NodeVisits, err)
+	return res, queryTraceFrom("nwc", q.Scheme, q.Measure, rec, res.Stats), err
+}
+
+// ExplainKNWC answers a kNWC query with tracing enabled, returning the
+// groups alongside the query's structured trace.
+func (ix *Index) ExplainKNWC(ctx context.Context, q KQuery) (KResult, *QueryTrace, error) {
+	rec := trace.New()
+	start := time.Now()
+	res, err := ix.knwc(ctx, q, rec)
+	elapsed := time.Since(start)
+	ix.obs.observe(kindKNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
+	ix.noteSlow(kindKNWC, q.Query, q.K, q.M, start, elapsed, res.Stats.NodeVisits, err)
+	return res, queryTraceFrom("knwc", q.Scheme, q.Measure, rec, res.Stats), err
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log
+// ---------------------------------------------------------------------
+
+// SlowQueryEntry records one query that exceeded the slow-query
+// threshold: its parameters, timing and I/O cost.
+type SlowQueryEntry struct {
+	// Kind is "nwc" or "knwc".
+	Kind    string `json:"kind"`
+	Scheme  string `json:"scheme"`
+	Measure string `json:"measure"`
+	// The query parameters.
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Length float64 `json:"length"`
+	Width  float64 `json:"width"`
+	N      int     `json:"n"`
+	K      int     `json:"k,omitempty"`
+	M      int     `json:"m,omitempty"`
+	// StartedAt is the wall-clock start, Duration the monotonic
+	// elapsed time, NodeVisits the I/O cost.
+	StartedAt  time.Time     `json:"started_at"`
+	Duration   time.Duration `json:"duration_ns"`
+	NodeVisits uint64        `json:"node_visits"`
+	// Error is set when the query failed (including cancellation).
+	Error string `json:"error,omitempty"`
+}
+
+// slowLogSize is the number of entries the slow-query ring retains.
+const slowLogSize = 128
+
+// slowLog pairs the latency threshold (atomic, runtime-adjustable) with
+// the lock-free ring of offending queries. thresholdNs zero means off:
+// the query path then pays one atomic load and one branch.
+type slowLog struct {
+	thresholdNs atomic.Int64
+	ring        *metrics.Ring[SlowQueryEntry]
+}
+
+func newSlowLog(threshold time.Duration) *slowLog {
+	s := &slowLog{ring: metrics.NewRing[SlowQueryEntry](slowLogSize)}
+	if threshold > 0 {
+		s.thresholdNs.Store(int64(threshold))
+	}
+	return s
+}
+
+// WithSlowQueryThreshold enables the slow-query log: every NWC/kNWC
+// query slower than threshold is recorded in a fixed-size lock-free
+// ring readable via SlowQueries (and GET /debug/slowlog on the server).
+// Zero or negative leaves the log disabled, its default.
+func WithSlowQueryThreshold(threshold time.Duration) BuildOption {
+	return func(o *buildOptions) { o.slowThreshold = threshold }
+}
+
+// SetSlowQueryThreshold adjusts the slow-query threshold at runtime;
+// zero or negative disables the log. Safe to call concurrently with
+// queries.
+func (ix *Index) SetSlowQueryThreshold(threshold time.Duration) {
+	if threshold < 0 {
+		threshold = 0
+	}
+	ix.slow.thresholdNs.Store(int64(threshold))
+}
+
+// SlowQueryThreshold returns the current threshold, zero when the log
+// is disabled.
+func (ix *Index) SlowQueryThreshold() time.Duration {
+	return time.Duration(ix.slow.thresholdNs.Load())
+}
+
+// SlowQueries returns the retained slow-query log entries, newest
+// first. Safe to call concurrently with queries.
+func (ix *Index) SlowQueries() []SlowQueryEntry {
+	ptrs := ix.slow.ring.Snapshot()
+	out := make([]SlowQueryEntry, 0, len(ptrs))
+	for _, p := range ptrs {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartedAt.After(out[j].StartedAt) })
+	return out
+}
+
+// noteSlow records the query in the slow log when it exceeded the
+// threshold. The entry is built only past the threshold check, so the
+// fast path costs an atomic load and a compare. Queries rejected at
+// validation never executed — and may carry NaN/Inf parameters that
+// would poison the log's JSON encoding — so they are not recorded.
+func (ix *Index) noteSlow(kind queryKind, q Query, k, m int, start time.Time, elapsed time.Duration, visits uint64, err error) {
+	th := ix.slow.thresholdNs.Load()
+	if th <= 0 || int64(elapsed) < th || errors.Is(err, ErrInvalidQuery) {
+		return
+	}
+	e := &SlowQueryEntry{
+		Kind:    kindNames[kind],
+		Scheme:  q.Scheme.String(),
+		Measure: q.Measure.String(),
+		X:       q.X, Y: q.Y, Length: q.Length, Width: q.Width, N: q.N,
+		K: k, M: m,
+		StartedAt: start, Duration: elapsed, NodeVisits: visits,
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	ix.slow.ring.Put(e)
+}
