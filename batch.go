@@ -7,11 +7,16 @@ import (
 	"sync"
 )
 
-// Batch execution. A built index is safe for concurrent reads, so
+// Batch execution. Queries are safe under unrestricted concurrency, so
 // independent queries parallelise perfectly; this file provides the
 // fan-out boilerplate. Results are returned in input order, and every
 // result's Stats is exact for its own query — per-query accounting is
 // carried on query-private counters, never shared between workers.
+// Each query in a batch pins its own view at entry, so a batch that
+// overlaps mutations may answer different queries against different
+// (each internally consistent) versions; IWP-scheme queries need no
+// up-front settling because the per-view IWP state is built
+// single-flight on first use.
 //
 // The storage layers are built for exactly this fan-out: on a paged
 // index, workers share the buffer pool's immutable frames zero-copy
@@ -44,9 +49,6 @@ func (ix *Index) NWCBatch(queries []Query, opt BatchOptions) ([]Result, error) {
 // runs under ctx, so cancellation aborts the whole batch with the
 // context's error.
 func (ix *Index) NWCBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) ([]Result, error) {
-	if err := ix.settleIWPForBatch(queries); err != nil {
-		return nil, err
-	}
 	results := make([]Result, len(queries))
 	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
 		res, err := ix.NWCCtx(ctx, queries[i])
@@ -71,13 +73,6 @@ func (ix *Index) KNWCBatch(queries []KQuery, opt BatchOptions) ([]KResult, error
 // KNWCBatchCtx is KNWCBatch under a context, with NWCBatchCtx's
 // cancellation semantics.
 func (ix *Index) KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOptions) ([]KResult, error) {
-	kq := make([]Query, len(queries))
-	for i, q := range queries {
-		kq[i] = q.Query
-	}
-	if err := ix.settleIWPForBatch(kq); err != nil {
-		return nil, err
-	}
 	results := make([]KResult, len(queries))
 	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
 		res, err := ix.KNWCCtx(ctx, queries[i])
@@ -91,18 +86,6 @@ func (ix *Index) KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOp
 		return nil, err
 	}
 	return results, nil
-}
-
-// settleIWPForBatch resolves IWP staleness before workers start: the
-// lazy rebuild is not concurrency-safe, so it must happen up front when
-// any query in the batch will take the IWP path.
-func (ix *Index) settleIWPForBatch(queries []Query) error {
-	for _, q := range queries {
-		if q.Scheme.internal().IWP {
-			return ix.ensureIWP()
-		}
-	}
-	return nil
 }
 
 // forEachIndexed runs fn(0..n-1) over a bounded worker pool, returning

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"nwcq/internal/core"
 	"nwcq/internal/datagen"
@@ -287,6 +289,101 @@ func BenchmarkNWCTraceOn(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkNWCUnderMutation guards the view design's zero-cost read
+// path: NWC throughput with a continuous background mutator (paced
+// insert/delete pairs, each publishing a new version) must match the
+// static-index sub-benchmark in both ns/op and allocs/op — compare the
+// two sub-benchmarks, and both against BENCH_baseline.json. The view
+// pin is one atomic load plus one CAS and resolves pre-built engines,
+// so queries pay nothing for mutability; TestViewPinZeroAlloc asserts
+// the same property deterministically.
+func BenchmarkNWCUnderMutation(b *testing.B) {
+	raw := datagen.NYLikeN(10000, 1)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	queries := harness.QueryPoints(64, 5)
+	run := func(b *testing.B, mutate bool) {
+		idx, err := Build(pts, WithBulkLoad())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var mwg sync.WaitGroup
+		var pairs atomic.Int64
+		if mutate {
+			mwg.Add(1)
+			go func() {
+				defer mwg.Done()
+				rng := rand.New(rand.NewSource(77))
+				for i := uint64(0); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					p := pts[rng.Intn(len(pts))]
+					p.ID = 1<<40 + i
+					if err := idx.Insert(p); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := idx.Delete(p); err != nil {
+						b.Error(err)
+						return
+					}
+					pairs.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				}
+			}()
+		}
+		b.ReportAllocs()
+		start := make(chan struct{})
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(b.N) {
+						return
+					}
+					q := queries[int(i)%len(queries)]
+					if _, err := idx.NWC(Query{X: q.X, Y: q.Y, Length: 60, Width: 60, N: 8}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		close(start)
+		wg.Wait()
+		b.StopTimer()
+		close(stop)
+		mwg.Wait()
+		select {
+		case err := <-errs:
+			b.Fatal(err)
+		default:
+		}
+		if mutate {
+			// Versions published while the clock ran: allocs/op here
+			// includes the mutator's own copy-on-write work (a real
+			// mutation costs memory); the READ path's share is zero.
+			b.ReportMetric(float64(pairs.Load())/float64(b.N), "mutations/op")
+		}
+	}
+	b.Run("static", func(b *testing.B) { run(b, false) })
+	b.Run("mutating", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkKNWCQuery measures one kNWC query per iteration.

@@ -13,14 +13,21 @@ import (
 	"nwcq/internal/geom"
 )
 
-// Density is a density grid over a bounded object space. It can be
-// updated incrementally as objects are inserted and deleted; it is not
-// safe for mutation concurrent with queries.
+// Density is a density grid over a bounded object space.
+//
+// Counts are stored per row so that the copy-on-write derivations
+// (WithAdd, WithRemove) can produce an updated grid by cloning the row
+// directory plus the single affected row — a few hundred words for the
+// paper's 400 × 400 default — while sharing every untouched row with
+// the original. A Density reached only through WithAdd/WithRemove is
+// effectively immutable and safe for concurrent readers; the in-place
+// Add/Remove methods remain for single-owner bulk construction and must
+// never run on a grid that concurrent queries can see.
 type Density struct {
 	space    geom.Rect
 	cellSize float64
 	nx, ny   int
-	counts   []uint32 // row-major: counts[cy*nx+cx]
+	rows     [][]uint32 // rows[cy][cx]
 	total    int
 }
 
@@ -41,13 +48,20 @@ func New(space geom.Rect, cellSize float64, pts []geom.Point) (*Density, error) 
 		nx:       int(space.Width()/cellSize) + 1,
 		ny:       int(space.Height()/cellSize) + 1,
 	}
-	d.counts = make([]uint32, d.nx*d.ny)
+	// One backing array, sliced into rows: same locality as the old
+	// flat layout for the build, while rows stay independently
+	// shareable afterwards.
+	flat := make([]uint32, d.nx*d.ny)
+	d.rows = make([][]uint32, d.ny)
+	for cy := 0; cy < d.ny; cy++ {
+		d.rows[cy] = flat[cy*d.nx : (cy+1)*d.nx : (cy+1)*d.nx]
+	}
 	for _, p := range pts {
 		cx, cy, ok := d.cellOf(p)
 		if !ok {
 			return nil, fmt.Errorf("grid: point %v outside space %v", p, space)
 		}
-		d.counts[cy*d.nx+cx]++
+		d.rows[cy][cx]++
 		d.total++
 	}
 	return d, nil
@@ -105,7 +119,7 @@ func (d *Density) UpperBound(rect geom.Rect) int {
 	}
 	sum := 0
 	for cy := y0; cy <= y1; cy++ {
-		row := d.counts[cy*d.nx : cy*d.nx+d.nx]
+		row := d.rows[cy]
 		for cx := x0; cx <= x1; cx++ {
 			sum += int(row[cx])
 		}
@@ -122,30 +136,75 @@ func (d *Density) PrunesRect(rect geom.Rect, n int) bool {
 // Space returns the grid's object space.
 func (d *Density) Space() geom.Rect { return d.space }
 
-// Add counts a newly inserted object. It fails when p lies outside the
-// grid's space; callers then rebuild the grid over an enlarged space.
+// Add counts a newly inserted object in place. It fails when p lies
+// outside the grid's space; callers then rebuild the grid over an
+// enlarged space. In-place mutation is for single-owner grids only —
+// published grids derive updates with WithAdd.
 func (d *Density) Add(p geom.Point) error {
 	cx, cy, ok := d.cellOf(p)
 	if !ok {
 		return fmt.Errorf("grid: point %v outside space %v", p, d.space)
 	}
-	d.counts[cy*d.nx+cx]++
+	d.rows[cy][cx]++
 	d.total++
 	return nil
 }
 
-// Remove uncounts a deleted object. Removing an object that was never
-// added corrupts the bound and is rejected.
+// Remove uncounts a deleted object in place. Removing an object that
+// was never added corrupts the bound and is rejected. See Add for the
+// single-owner caveat.
 func (d *Density) Remove(p geom.Point) error {
 	cx, cy, ok := d.cellOf(p)
 	if !ok {
 		return fmt.Errorf("grid: point %v outside space %v", p, d.space)
 	}
-	idx := cy*d.nx + cx
-	if d.counts[idx] == 0 {
+	if d.rows[cy][cx] == 0 {
 		return fmt.Errorf("grid: removing %v from an empty cell", p)
 	}
-	d.counts[idx]--
+	d.rows[cy][cx]--
 	d.total--
 	return nil
+}
+
+// withRow returns a copy of d whose row directory is fresh and whose
+// row cy is a private clone, ready to be edited without disturbing d.
+func (d *Density) withRow(cy int) *Density {
+	nd := *d
+	nd.rows = make([][]uint32, len(d.rows))
+	copy(nd.rows, d.rows)
+	row := make([]uint32, d.nx)
+	copy(row, d.rows[cy])
+	nd.rows[cy] = row
+	return &nd
+}
+
+// WithAdd returns a new grid equal to d plus one object at p, sharing
+// every row except the affected one. d is not modified and stays safe
+// for concurrent readers.
+func (d *Density) WithAdd(p geom.Point) (*Density, error) {
+	cx, cy, ok := d.cellOf(p)
+	if !ok {
+		return nil, fmt.Errorf("grid: point %v outside space %v", p, d.space)
+	}
+	nd := d.withRow(cy)
+	nd.rows[cy][cx]++
+	nd.total++
+	return nd, nil
+}
+
+// WithRemove returns a new grid equal to d minus one object at p,
+// sharing every row except the affected one. d is not modified and
+// stays safe for concurrent readers.
+func (d *Density) WithRemove(p geom.Point) (*Density, error) {
+	cx, cy, ok := d.cellOf(p)
+	if !ok {
+		return nil, fmt.Errorf("grid: point %v outside space %v", p, d.space)
+	}
+	if d.rows[cy][cx] == 0 {
+		return nil, fmt.Errorf("grid: removing %v from an empty cell", p)
+	}
+	nd := d.withRow(cy)
+	nd.rows[cy][cx]--
+	nd.total--
+	return nd, nil
 }

@@ -231,3 +231,80 @@ func TestAddRemoveMatchesRebuild(t *testing.T) {
 		}
 	}
 }
+
+func TestWithAddWithRemoveCopyOnWrite(t *testing.T) {
+	space := geom.NewRect(0, 0, 1000, 1000)
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 2000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(i)}
+	}
+	base, err := New(space, 25, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Derive a long chain of COW updates, checking the base never moves.
+	baseBound := base.UpperBound(space)
+	cur := base
+	live := append([]geom.Point(nil), pts...)
+	for step := 0; step < 300; step++ {
+		if step%2 == 0 {
+			p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(100000 + step)}
+			next, err := cur.WithAdd(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Total() != len(live) {
+				t.Fatalf("step %d: WithAdd mutated receiver total", step)
+			}
+			live = append(live, p)
+			cur = next
+		} else {
+			victim := live[rng.Intn(len(live))]
+			next, err := cur.WithRemove(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Total() != len(live) {
+				t.Fatalf("step %d: WithRemove mutated receiver total", step)
+			}
+			for i := range live {
+				if live[i] == victim {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+			cur = next
+		}
+		if cur.Total() != len(live) {
+			t.Fatalf("step %d: total %d, want %d", step, cur.Total(), len(live))
+		}
+	}
+	if got := base.UpperBound(space); got != baseBound {
+		t.Fatalf("base grid changed: bound %d, want %d", got, baseBound)
+	}
+	// The final grid must agree cell-for-cell with a fresh build.
+	fresh, err := New(space, 25, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		r := geom.NewRect(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		if a, b := cur.UpperBound(r), fresh.UpperBound(r); a != b {
+			t.Fatalf("rect %d: COW bound %d, fresh bound %d", i, a, b)
+		}
+	}
+
+	if _, err := base.WithAdd(geom.Point{X: -1, Y: -1}); err == nil {
+		t.Error("WithAdd outside space accepted")
+	}
+	empty, err := New(space, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.WithRemove(geom.Point{X: 5, Y: 5}); err == nil {
+		t.Error("WithRemove from empty cell accepted")
+	}
+}

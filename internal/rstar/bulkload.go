@@ -18,6 +18,9 @@ import (
 // fixed at 0.7, a customary STR choice that leaves room for later
 // inserts).
 func (t *Tree) BulkLoad(pts []geom.Point) error {
+	if t.frozen {
+		return ErrImmutableTree
+	}
 	if t.count != 0 {
 		return errors.New("rstar: BulkLoad requires an empty tree")
 	}

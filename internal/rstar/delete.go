@@ -7,6 +7,9 @@ import "nwcq/internal/geom"
 // nodes are condensed: their surviving entries are reinserted at their
 // original level, and a single-child internal root is collapsed.
 func (t *Tree) Delete(p geom.Point) (bool, error) {
+	if t.frozen {
+		return false, ErrImmutableTree
+	}
 	root, err := t.store.Get(t.root)
 	if err != nil {
 		return false, err

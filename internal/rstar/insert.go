@@ -26,6 +26,9 @@ func childEntry(rect geom.Rect, id NodeID) entry {
 // Insert adds point p to the tree using the R*-tree insertion algorithm
 // with forced reinsertion.
 func (t *Tree) Insert(p geom.Point) error {
+	if t.frozen {
+		return ErrImmutableTree
+	}
 	// Forced reinsertion is permitted once per level per top-level
 	// insertion (the R*-tree OverflowTreatment rule).
 	t.reinsertedAtLevel = make([]bool, t.height+1)

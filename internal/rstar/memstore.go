@@ -16,6 +16,11 @@ type MemStore struct {
 	root   NodeID
 	height int
 	count  int
+
+	// sealed is set by Freeze; afterwards the store rejects in-place
+	// mutation and all changes flow through versioned snapshots
+	// (memsnap.go).
+	sealed bool
 }
 
 // NewMemStore returns an empty resident node store.
@@ -25,6 +30,9 @@ func NewMemStore() *MemStore {
 
 // Alloc implements NodeStore.
 func (s *MemStore) Alloc(leaf bool) (*Node, error) {
+	if s.sealed {
+		return nil, ErrImmutableTree
+	}
 	var id NodeID
 	if n := len(s.free); n > 0 {
 		id = s.free[n-1]
@@ -50,6 +58,9 @@ func (s *MemStore) Get(id NodeID) (*Node, error) {
 // Put implements NodeStore. Nodes are shared pointers, so mutations made
 // through Get are already visible; Put validates liveness.
 func (s *MemStore) Put(n *Node) error {
+	if s.sealed {
+		return ErrImmutableTree
+	}
 	if int(n.ID) >= len(s.nodes) || s.nodes[n.ID] == nil {
 		return fmt.Errorf("rstar: memstore: put of dead node %d", n.ID)
 	}
@@ -59,6 +70,9 @@ func (s *MemStore) Put(n *Node) error {
 
 // Free implements NodeStore.
 func (s *MemStore) Free(id NodeID) error {
+	if s.sealed {
+		return ErrImmutableTree
+	}
 	if int(id) >= len(s.nodes) || s.nodes[id] == nil {
 		return fmt.Errorf("rstar: memstore: free of dead node %d", id)
 	}
@@ -72,6 +86,9 @@ func (s *MemStore) Root() (NodeID, int, int) { return s.root, s.height, s.count 
 
 // SetRoot implements NodeStore.
 func (s *MemStore) SetRoot(id NodeID, height, count int) error {
+	if s.sealed {
+		return ErrImmutableTree
+	}
 	s.root, s.height, s.count = id, height, count
 	return nil
 }

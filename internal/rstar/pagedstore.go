@@ -149,6 +149,52 @@ func (s *PagedStore) Visits() uint64 { return s.visits.Load() }
 // ResetVisits implements NodeStore.
 func (s *PagedStore) ResetVisits() { s.visits.Store(0) }
 
+// ReserveID implements snapshotStore by allocating a fresh page. The
+// pager never hands out a live page (the free list holds only pages
+// released after their readers drained), so writing the page later
+// cannot disturb a pinned version.
+func (s *PagedStore) ReserveID() (NodeID, error) {
+	id, err := s.pages.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	return NodeID(id), nil
+}
+
+// UnreserveIDs implements snapshotStore. Nothing was published under
+// the IDs, so the pages can rejoin the free list immediately.
+func (s *PagedStore) UnreserveIDs(ids []NodeID) {
+	for _, id := range ids {
+		_ = s.pages.Free(pager.PageID(id))
+	}
+}
+
+// PublishBatch implements snapshotStore: shadow paging. Every written
+// node goes to a page allocated this batch — never on top of a live
+// page — so readers of the previous version keep seeing their nodes
+// byte-for-byte; the version flip is the SetRoot at the end. Dead pages
+// are left untouched until ReleaseIDs (pager.Free scribbles a free-list
+// link into the page, which would corrupt a pinned reader's view).
+func (s *PagedStore) PublishBatch(written []*Node, dead []NodeID, root NodeID, height, count int) (NodeStore, error) {
+	for _, n := range written {
+		if err := s.Put(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.SetRoot(root, height, count); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReleaseIDs implements snapshotStore, freeing the pages of retired
+// nodes once the caller has proven no reader can reach them.
+func (s *PagedStore) ReleaseIDs(ids []NodeID) {
+	for _, id := range ids {
+		_ = s.Free(id)
+	}
+}
+
 func encodeNode(n *Node) ([]byte, error) {
 	var size int
 	if n.Leaf {

@@ -140,6 +140,11 @@ type Tree struct {
 	// reinsertedAtLevel tracks forced reinsertion per level within a
 	// single insert, per the R*-tree OverflowTreatment rule.
 	reinsertedAtLevel []bool
+
+	// frozen marks an immutable snapshot (see Freeze in snapshot.go);
+	// Insert/Delete/BulkLoad refuse to run and changes go through
+	// BeginWrite instead.
+	frozen bool
 }
 
 // New creates an empty tree on store.

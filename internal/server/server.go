@@ -5,19 +5,25 @@
 //
 // Endpoints:
 //
-//	GET /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=][&explain=1] one group
-//	GET /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=][&explain=1] k groups
-//	GET /nearest?x=&y=&k=                                  plain k-NN
-//	GET /stats                                             index + I/O counters
-//	GET /metrics[?format=prometheus]                       latency/I-O histograms
-//	GET /debug/slowlog                                     slow-query ring
-//	GET /healthz                                           liveness
+//	GET  /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=][&explain=1] one group
+//	GET  /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=][&explain=1] k groups
+//	GET  /nearest?x=&y=&k=                                 plain k-NN
+//	POST /insert {"x":,"y":,"id":}                         add one point
+//	POST /delete {"x":,"y":,"id":}                         remove one point
+//	GET  /stats                                            index + I/O counters
+//	GET  /metrics[?format=prometheus]                      latency/I-O histograms
+//	GET  /debug/slowlog                                    slow-query ring
+//	GET  /healthz                                          liveness
 //
 // Query handlers run under the request's context, so a client that
 // disconnects (or a server read timeout) cancels the index traversal
 // mid-flight. Request accounting is lock-free: per-endpoint counters
 // and latency histograms are atomic, so instrumentation adds no
 // contention between concurrent requests.
+//
+// Mutations may run concurrently with queries: the index publishes
+// immutable views atomically, so every in-flight GET observes one
+// consistent version and POST /insert / POST /delete never block reads.
 //
 // Passing explain=1 to /nwc or /knwc runs the query with per-query
 // structured tracing enabled and attaches the phase-by-phase trace to
@@ -55,9 +61,10 @@ func newEndpointStats() *endpointStats {
 	}
 }
 
-// Server handles queries against one index. It is safe for concurrent
-// use: the underlying index is static, reads are lock-free, and all
-// request accounting is atomic.
+// Server handles queries and mutations against one index. It is safe
+// for concurrent use: reads run lock-free against atomically published
+// index views, mutations serialise inside the index, and all request
+// accounting is atomic.
 type Server struct {
 	idx *nwcq.Index
 
@@ -70,7 +77,7 @@ type Server struct {
 // New wraps an index.
 func New(idx *nwcq.Index) *Server {
 	s := &Server{idx: idx, endpoints: make(map[string]*endpointStats)}
-	for _, name := range []string{"nwc", "knwc", "nearest", "stats", "metrics", "slowlog"} {
+	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog"} {
 		s.endpoints[name] = newEndpointStats()
 	}
 	return s
@@ -82,6 +89,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /nwc", s.instrument("nwc", s.handleNWC))
 	mux.HandleFunc("GET /knwc", s.instrument("knwc", s.handleKNWC))
 	mux.HandleFunc("GET /nearest", s.instrument("nearest", s.handleNearest))
+	mux.HandleFunc("POST /insert", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("POST /delete", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
@@ -403,6 +412,50 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		out = append(out, pointJSON{X: p.X, Y: p.Y, ID: p.ID})
 	}
 	s.ok(w, out)
+}
+
+// decodePoint reads the JSON body shared by /insert and /delete. The
+// body is capped well above any legitimate point payload so a
+// misbehaving client cannot tie up the handler.
+func decodePoint(r *http.Request) (nwcq.Point, error) {
+	var p pointJSON
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nwcq.Point{}, fmt.Errorf("invalid point body: %w", err)
+	}
+	return nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}, nil
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	p, err := decodePoint(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.idx.Insert(p); err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.ok(w, map[string]any{"inserted": true, "points": s.idx.Len()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	p, err := decodePoint(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	found, err := s.idx.Delete(p)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	if !found {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("point (%g, %g, %d) not indexed", p.X, p.Y, p.ID))
+		return
+	}
+	s.ok(w, map[string]any{"deleted": true, "points": s.idx.Len()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

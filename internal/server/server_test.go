@@ -512,3 +512,126 @@ func TestParseHelpers(t *testing.T) {
 		t.Error("case-insensitive measure parse failed")
 	}
 }
+
+// postJSON posts body as JSON and decodes the response into out.
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestInsertDeleteEndpoints round-trips a point through POST /insert and
+// POST /delete while GET /nwc traffic is continuously in flight, per the
+// concurrency contract: mutations and queries need no external locking.
+func TestInsertDeleteEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Background query load for the duration of the test.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	queryErrs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x := float64(100 + (g*37+i*13)%800)
+				y := float64(100 + (g*53+i*29)%800)
+				resp, err := http.Get(fmt.Sprintf("%s/nwc?x=%g&y=%g&l=60&w=60&n=3", ts.URL, x, y))
+				if err != nil {
+					queryErrs <- err
+					return
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code != http.StatusOK {
+					queryErrs <- fmt.Errorf("GET /nwc status %d", code)
+					return
+				}
+			}
+		}(g)
+	}
+
+	var ins struct {
+		Inserted bool `json:"inserted"`
+		Points   int  `json:"points"`
+	}
+	var del struct {
+		Deleted bool `json:"deleted"`
+		Points  int  `json:"points"`
+	}
+	for i := 0; i < 30; i++ {
+		id := 1_000_000 + uint64(i)
+		body := fmt.Sprintf(`{"x": %g, "y": %g, "id": %d}`, 400+float64(i), 400.5, id)
+		if code := postJSON(t, ts.URL+"/insert", body, &ins); code != http.StatusOK {
+			t.Fatalf("insert %d: status %d", i, code)
+		}
+		if !ins.Inserted {
+			t.Fatalf("insert %d: inserted=false", i)
+		}
+		if i%2 == 0 {
+			if code := postJSON(t, ts.URL+"/delete", body, &del); code != http.StatusOK {
+				t.Fatalf("delete %d: status %d", i, code)
+			}
+			if !del.Deleted {
+				t.Fatalf("delete %d: deleted=false", i)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-queryErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// 30 inserted, 15 deleted: net +15 over the seed 3000.
+	if ins.Points < 3000 || del.Points < 3000 {
+		t.Errorf("point counts went below seed: insert=%d delete=%d", ins.Points, del.Points)
+	}
+	var stats struct {
+		Points int `json:"points"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Points != 3015 {
+		t.Errorf("points = %d, want 3015", stats.Points)
+	}
+
+	// A surviving inserted point must be visible to queries.
+	var out nwcResponse
+	if code := getJSON(t, ts.URL+"/nwc?x=401&y=400.5&l=2&w=2&n=1", &out); code != http.StatusOK {
+		t.Fatalf("nwc status %d", code)
+	}
+	if !out.Found {
+		t.Error("inserted point not found by /nwc")
+	}
+
+	// Error paths.
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, ts.URL+"/insert", `{"x": "oops"}`, &errOut); code != http.StatusBadRequest {
+		t.Errorf("malformed insert body: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/delete", `{"x": 1, "y": 2, "id": 99999999}`, &errOut); code != http.StatusNotFound {
+		t.Errorf("delete of absent point: status %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/insert", `{"x": 1e999, "y": 0, "id": 1}`, &errOut); code != http.StatusBadRequest {
+		t.Errorf("non-finite insert: status %d, want 400", code)
+	}
+}

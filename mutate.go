@@ -1,104 +1,156 @@
 package nwcq
 
 import (
-	"fmt"
 	"math"
+	"time"
 
-	"nwcq/internal/core"
 	"nwcq/internal/geom"
 	"nwcq/internal/grid"
-	"nwcq/internal/iwp"
+	"nwcq/internal/rstar"
 )
 
 // Dynamic maintenance. The paper treats the dataset as static; this
-// file extends the index with Insert and Delete as a practical library
-// feature:
+// file extends the index with Insert and Delete as first-class online
+// operations:
 //
-//   - the R*-tree is updated in place (R* insertion with forced
-//     reinsertion; deletion with condense-and-reinsert);
-//   - the DEP density grid is updated incrementally, or rebuilt over an
-//     enlarged space when a point lands outside it;
-//   - the IWP pointer sets are snapshot structures, so mutations mark
-//     them stale and the next query needing IWP rebuilds them lazily.
-//
-// Mutations must not run concurrently with queries or each other.
+//   - mutations are safe to run concurrently with any number of
+//     queries, including batch and IWP-scheme queries: a query pins one
+//     immutable view at entry (view.go) and never observes a mutation
+//     mid-flight;
+//   - mutations serialise against each other on an internal writer
+//     mutex — callers need no external locking;
+//   - each mutation is all-or-nothing: the R*-tree delta is built in a
+//     copy-on-write batch and the density grid derived by structural
+//     sharing, then both are published together in a single atomic view
+//     swap. A failure at any step leaves the index exactly as it was —
+//     the tree and the grid can never disagree;
+//   - the IWP pointer sets are per-view snapshot structures, rebuilt
+//     lazily (single-flight) by the first IWP-scheme query on the new
+//     view; the rebuild's node visits are accounted in IOStats, never
+//     reset it, and never touch any query's private Stats.
 
-// Insert adds one point to the index.
+// Insert adds one point to the index. It is safe to call concurrently
+// with queries and with other mutations; the point is visible to every
+// query that starts after Insert returns.
 func (ix *Index) Insert(p Point) error {
+	start := time.Now()
+	err := ix.insert(p)
+	ix.obs.observe(kindInsert, SchemeDefault, time.Since(start), 0, err)
+	return err
+}
+
+func (ix *Index) insert(p Point) error {
 	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
-		return fmt.Errorf("nwcq: point (%g, %g) has non-finite coordinates", p.X, p.Y)
+		return invalid("point", "coordinates (%g, %g) must be finite", p.X, p.Y)
 	}
 	gp := geom.Point{X: p.X, Y: p.Y, ID: p.ID}
-	if err := ix.tree.Insert(gp); err != nil {
+
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	old := ix.cur.Load()
+
+	b, err := old.tree.BeginWrite()
+	if err != nil {
 		return err
 	}
-	if err := ix.grid.Add(gp); err != nil {
+	if err := b.Tree().Insert(gp); err != nil {
+		b.Discard()
+		return err
+	}
+	den, err := old.grid.WithAdd(gp)
+	if err != nil {
 		// Outside the grid's space: rebuild over a space covering the
 		// new point (with slack so a trickle of outliers does not cause
-		// repeated rebuilds).
-		if err := ix.rebuildGrid(gp); err != nil {
+		// repeated rebuilds). The rebuild reads the batch's tree, so it
+		// already includes gp.
+		den, err = rebuildGrid(b.Tree(), old.grid, &gp)
+		if err != nil {
+			b.Discard()
 			return err
 		}
 	}
-	ix.iwpStale = true
-	return nil
+	newTree, retired, err := b.Commit()
+	if err != nil {
+		return err
+	}
+	return ix.publishLocked(newTree, den, retired)
 }
 
 // Delete removes one point (matched by coordinates and ID) and reports
-// whether it was found.
+// whether it was found. Like Insert it is safe under full concurrency
+// and atomic: queries see either the index with the point or without
+// it, never an intermediate state.
 func (ix *Index) Delete(p Point) (bool, error) {
+	start := time.Now()
+	found, err := ix.delete(p)
+	ix.obs.observe(kindDelete, SchemeDefault, time.Since(start), 0, err)
+	return found, err
+}
+
+func (ix *Index) delete(p Point) (bool, error) {
 	gp := geom.Point{X: p.X, Y: p.Y, ID: p.ID}
-	ok, err := ix.tree.Delete(gp)
-	if err != nil || !ok {
-		return ok, err
+
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	old := ix.cur.Load()
+
+	b, err := old.tree.BeginWrite()
+	if err != nil {
+		return false, err
 	}
-	if err := ix.grid.Remove(gp); err != nil {
-		return true, err
+	found, err := b.Tree().Delete(gp)
+	if err != nil {
+		b.Discard()
+		return false, err
 	}
-	ix.iwpStale = true
+	if !found {
+		b.Discard()
+		return false, nil
+	}
+	den, err := old.grid.WithRemove(gp)
+	if err != nil {
+		// The grid does not count a point the tree held — the two
+		// drifted (e.g. a historic out-of-space insert). Rather than
+		// publish a grid that still counts the deleted point, rebuild it
+		// from the post-delete tree so the pair leaves consistent; a
+		// rebuild failure abandons the whole mutation.
+		den, err = rebuildGrid(b.Tree(), old.grid, nil)
+		if err != nil {
+			b.Discard()
+			return false, err
+		}
+	}
+	newTree, retired, err := b.Commit()
+	if err != nil {
+		return false, err
+	}
+	if err := ix.publishLocked(newTree, den, retired); err != nil {
+		return false, err
+	}
 	return true, nil
 }
 
-// rebuildGrid rebuilds the density grid over a space that covers both
-// the current space and the out-of-space point.
-func (ix *Index) rebuildGrid(extra geom.Point) error {
-	space := ix.grid.Space().ExtendPoint(extra)
-	// Grow by 25% of the span so nearby future outliers fit too.
-	space = space.Buffer(space.Width()/8, space.Height()/8)
-	pts, err := ix.tree.All()
+// rebuildGrid builds a fresh density grid from t's current points. With
+// extra set, the space is enlarged to cover it plus 12.5% slack per
+// side; otherwise the old space is kept.
+func rebuildGrid(t *rstar.Tree, oldGrid *grid.Density, extra *geom.Point) (*grid.Density, error) {
+	pts, err := t.All()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	den, err := grid.New(space, ix.grid.CellSize(), pts)
-	if err != nil {
-		return err
+	space := oldGrid.Space()
+	if extra != nil {
+		space = space.ExtendPoint(*extra)
 	}
-	eng, err := core.NewEngine(ix.tree, den, ix.iwp)
-	if err != nil {
-		return err
+	// Cover every stored point: repairing drift means the tree may hold
+	// points the old space never did.
+	for _, p := range pts {
+		space = space.ExtendPoint(p)
 	}
-	ix.grid = den
-	ix.engine = eng
-	return nil
-}
-
-// ensureIWP rebuilds the IWP pointers if mutations invalidated them.
-// Called on the query path before any scheme that uses IWP runs.
-func (ix *Index) ensureIWP() error {
-	if !ix.iwpStale {
-		return nil
+	if !oldGrid.Space().ContainsRect(space) {
+		// The space grew: add 12.5% slack per side so a trickle of
+		// nearby outliers does not cause repeated rebuilds.
+		space = space.Buffer(space.Width()/8, space.Height()/8)
 	}
-	rebuilt, err := iwp.Build(ix.tree)
-	if err != nil {
-		return err
-	}
-	eng, err := core.NewEngine(ix.tree, ix.grid, rebuilt)
-	if err != nil {
-		return err
-	}
-	ix.iwp = rebuilt
-	ix.engine = eng
-	ix.iwpStale = false
-	ix.tree.ResetVisits()
-	return nil
+	return grid.New(space, oldGrid.CellSize(), pts)
 }

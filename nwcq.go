@@ -28,8 +28,13 @@
 //
 // # Contexts and concurrency
 //
-// A built index is safe for concurrent reads. NWCCtx and KNWCCtx accept
-// a context.Context that is checked at node-visit granularity: a
+// An index is safe for unrestricted concurrent use: queries, batches,
+// Insert and Delete may all overlap freely. Queries pin an immutable,
+// atomically published view of the index at entry and run lock-free
+// against it, so each query observes one consistent version of the
+// dataset; mutations serialise internally and publish the next version
+// with a single pointer swap. NWCCtx and KNWCCtx accept a
+// context.Context that is checked at node-visit granularity: a
 // cancelled or expired context aborts the traversal with the context's
 // error. Every query's Stats is accumulated on a carrier private to that
 // query, so per-query numbers are exact at any parallelism; Index.Metrics
@@ -40,6 +45,8 @@ package nwcq
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nwcq/internal/core"
@@ -265,13 +272,22 @@ type KResult struct {
 	Stats Stats
 }
 
-// Index answers NWC and kNWC queries over a fixed point set.
+// Index answers NWC and kNWC queries over a point set that may evolve
+// online: queries (including batches) run lock-free against atomically
+// published immutable views, while Insert and Delete build the next
+// view off the query path and publish it with a single pointer swap
+// (see view.go and mutate.go). All methods are safe for unrestricted
+// concurrent use.
 type Index struct {
-	points  []geom.Point
-	tree    *rstar.Tree
-	grid    *grid.Density
-	iwp     *iwp.Index
-	engine  *core.Engine
+	// cur is the current view — the one new queries pin. Superseded
+	// views wait in retireq until their readers drain.
+	cur atomic.Pointer[view]
+
+	// wmu serialises mutations and retire-queue maintenance. Queries
+	// never take it.
+	wmu     sync.Mutex
+	retireq []*view
+
 	options buildOptions
 	obs     *queryMetrics
 	// slow is the slow-query log (lock-free ring + atomic threshold);
@@ -281,9 +297,6 @@ type Index struct {
 	// pageStats reports buffer-pool counters for paged indexes (nil for
 	// in-memory indexes); Metrics uses it to expose cache effectiveness.
 	pageStats func() pager.Stats
-	// iwpStale marks the IWP pointers invalid after Insert/Delete; the
-	// next query needing them rebuilds lazily (see mutate.go).
-	iwpStale bool
 }
 
 type buildOptions struct {
@@ -357,8 +370,8 @@ func WithSpace(minX, minY, maxX, maxY float64) BuildOption {
 }
 
 // Build indexes points and prepares every substrate (R*-tree, density
-// grid, IWP pointers) so any scheme can run. The point set is static;
-// rebuild the index to change it.
+// grid, IWP pointers) so any scheme can run. The point set can evolve
+// afterwards through Insert and Delete, concurrently with queries.
 func Build(points []Point, opts ...BuildOption) (*Index, error) {
 	o := buildOptions{maxEntries: 50, gridCellSize: 25}
 	for _, opt := range opts {
@@ -415,32 +428,45 @@ func Build(points []Point, opts ...BuildOption) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := iwp.Build(tree)
+	frozen, err := tree.Freeze()
 	if err != nil {
 		return nil, err
 	}
-	tree.ResetVisits()
-	engine, err := core.NewEngine(tree, den, ix)
+	v, err := newView(frozen, den)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
-		points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
-		obs: newQueryMetrics(), slow: newSlowLog(o.slowThreshold), created: time.Now(),
-	}, nil
+	iwpIdx, err := iwp.Build(frozen)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.setIWP(iwpIdx); err != nil {
+		return nil, err
+	}
+	frozen.ResetVisits()
+	ix := &Index{
+		options: o,
+		obs:     newQueryMetrics(), slow: newSlowLog(o.slowThreshold), created: time.Now(),
+	}
+	ix.cur.Store(v)
+	return ix, nil
 }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.tree.Len() }
+// Len returns the number of indexed points (in the current view; a
+// concurrent mutation is reflected once published).
+func (ix *Index) Len() int { return ix.cur.Load().tree.Len() }
 
 // TreeHeight returns the R*-tree height in levels.
-func (ix *Index) TreeHeight() int { return ix.tree.Height() }
+func (ix *Index) TreeHeight() int { return ix.cur.Load().tree.Height() }
 
 // StorageOverheadBytes reports the extra storage of the DEP density
 // grid and the IWP pointers, using the paper's accounting (two bytes
-// per grid cell, four bytes per pointer).
+// per grid cell, four bytes per pointer). When the current view has
+// not yet built its IWP pointers (they materialise on first IWP-scheme
+// query after a mutation), the previous view's figure is reported.
 func (ix *Index) StorageOverheadBytes() (gridBytes, iwpBytes int) {
-	return ix.grid.StorageBytes(), ix.iwp.StorageBytes()
+	v := ix.cur.Load()
+	return v.grid.StorageBytes(), v.iwpBytes()
 }
 
 // NWC answers an NWC query with no cancellation; it is shorthand for
@@ -471,12 +497,13 @@ func (ix *Index) nwc(ctx context.Context, q Query, rec *trace.Recorder) (Result,
 		return Result{}, err
 	}
 	scheme := q.Scheme.internal()
-	if scheme.IWP {
-		if err := ix.ensureIWP(); err != nil {
-			return Result{}, err
-		}
+	v := ix.acquire()
+	defer v.release()
+	eng, err := ix.engineFor(v, scheme)
+	if err != nil {
+		return Result{}, err
 	}
-	res, st, err := ix.engine.NWCTrace(ctx, core.Query{
+	res, st, err := eng.NWCTrace(ctx, core.Query{
 		Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N,
 	}, scheme, measure, rec)
 	if err != nil {
@@ -511,12 +538,13 @@ func (ix *Index) knwc(ctx context.Context, q KQuery, rec *trace.Recorder) (KResu
 		return KResult{}, err
 	}
 	scheme := q.Scheme.internal()
-	if scheme.IWP {
-		if err := ix.ensureIWP(); err != nil {
-			return KResult{}, err
-		}
+	v := ix.acquire()
+	defer v.release()
+	eng, err := ix.engineFor(v, scheme)
+	if err != nil {
+		return KResult{}, err
 	}
-	groups, st, err := ix.engine.KNWCTrace(ctx, core.KNWCQuery{
+	groups, st, err := eng.KNWCTrace(ctx, core.KNWCQuery{
 		Query: core.Query{Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N},
 		K:     q.K, M: q.M,
 	}, scheme, measure, rec)
@@ -558,7 +586,9 @@ func (ix *Index) window(ctx context.Context, minX, minY, maxX, maxY float64) ([]
 	if err := validateWindowRect(minX, minY, maxX, maxY); err != nil {
 		return nil, err
 	}
-	pts, err := ix.tree.Reader(ctx, nil).SearchCollect(geom.NewRect(minX, minY, maxX, maxY))
+	v := ix.acquire()
+	defer v.release()
+	pts, err := v.tree.Reader(ctx, nil).SearchCollect(geom.NewRect(minX, minY, maxX, maxY))
 	if err != nil {
 		return nil, err
 	}
@@ -578,7 +608,9 @@ func (ix *Index) nearest(ctx context.Context, x, y float64, k int) ([]Point, err
 	if err := validateNearest(x, y, k); err != nil {
 		return nil, err
 	}
-	pts, err := ix.tree.Reader(ctx, nil).NearestK(geom.Point{X: x, Y: y}, k)
+	v := ix.acquire()
+	defer v.release()
+	pts, err := v.tree.Reader(ctx, nil).NearestK(geom.Point{X: x, Y: y}, k)
 	if err != nil {
 		return nil, err
 	}
@@ -586,13 +618,15 @@ func (ix *Index) nearest(ctx context.Context, x, y float64, k int) ([]Point, err
 }
 
 // ResetIOStats zeroes the index-wide cumulative node-visit counter
-// (per-query counts in Stats are independent and unaffected).
-func (ix *Index) ResetIOStats() { ix.tree.ResetVisits() }
+// (per-query counts in Stats are independent and unaffected). The
+// counter is shared by every view, so the reset covers queries on any
+// version.
+func (ix *Index) ResetIOStats() { ix.cur.Load().tree.ResetVisits() }
 
 // IOStats returns the cumulative node visits since the index was built
 // or ResetIOStats was called. The counter is atomic and exact under
-// concurrent queries.
-func (ix *Index) IOStats() uint64 { return ix.tree.Visits() }
+// concurrent queries; per-view IWP rebuilds add their walk here too.
+func (ix *Index) IOStats() uint64 { return ix.cur.Load().tree.Visits() }
 
 func groupFrom(g core.Group) Group {
 	return Group{

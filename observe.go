@@ -24,10 +24,12 @@ const (
 	kindKNWC
 	kindNearest
 	kindWindow
+	kindInsert
+	kindDelete
 	kindCount
 )
 
-var kindNames = [kindCount]string{"nwc", "knwc", "nearest", "window"}
+var kindNames = [kindCount]string{"nwc", "knwc", "nearest", "window", "insert", "delete"}
 
 // queryMetrics aggregates across queries with atomics only; it is safe
 // for concurrent use and adds no lock to the query path.
@@ -39,6 +41,9 @@ type queryMetrics struct {
 	// byScheme counts NWC/kNWC queries per resolved scheme, indexed by
 	// the scheme's four optimisation bits.
 	byScheme [16]metrics.Counter
+	// iwpRebuilds counts lazy per-view IWP pointer rebuilds triggered
+	// by the first IWP-scheme query after a mutation.
+	iwpRebuilds metrics.Counter
 }
 
 func newQueryMetrics() *queryMetrics {
@@ -132,6 +137,9 @@ type MetricsSnapshot struct {
 	// CumulativeNodeVisits is the index-wide atomic node-visit total
 	// (same value as IOStats).
 	CumulativeNodeVisits uint64 `json:"cumulative_node_visits"`
+	// IWPRebuilds counts lazy IWP pointer rebuilds (first IWP-scheme
+	// query on a freshly published view after a mutation).
+	IWPRebuilds uint64 `json:"iwp_rebuilds"`
 	// PageCache reports buffer-pool counters; nil for in-memory indexes,
 	// which have no page cache.
 	PageCache *PageCacheMetrics `json:"page_cache,omitempty"`
@@ -148,7 +156,8 @@ func (ix *Index) Metrics() MetricsSnapshot {
 		UptimeSeconds:        now.Sub(ix.created).Seconds(),
 		Queries:              make(map[string]QueryKindMetrics, kindCount),
 		SchemeCounts:         make(map[string]uint64),
-		CumulativeNodeVisits: ix.tree.Visits(),
+		CumulativeNodeVisits: ix.cur.Load().tree.Visits(),
+		IWPRebuilds:          m.iwpRebuilds.Value(),
 	}
 	for k := queryKind(0); k < kindCount; k++ {
 		lat := m.latency[k].Snapshot()
@@ -223,10 +232,13 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(schemes) {
 		pw.value("nwcq_scheme_queries_total", labels{"scheme", name}, float64(schemes[name]))
 	}
+	cur := ix.cur.Load()
 	pw.header("nwcq_node_visits_total", "counter", "Cumulative R*-tree node visits across all queries.")
-	pw.value("nwcq_node_visits_total", nil, float64(ix.tree.Visits()))
+	pw.value("nwcq_node_visits_total", nil, float64(cur.tree.Visits()))
 	pw.header("nwcq_index_points", "gauge", "Points currently indexed.")
-	pw.value("nwcq_index_points", nil, float64(ix.tree.Len()))
+	pw.value("nwcq_index_points", nil, float64(cur.tree.Len()))
+	pw.header("nwcq_iwp_rebuilds_total", "counter", "Lazy per-view IWP pointer rebuilds after mutations.")
+	pw.value("nwcq_iwp_rebuilds_total", nil, float64(m.iwpRebuilds.Value()))
 	pw.header("nwcq_uptime_seconds", "gauge", "Seconds since the index was built or opened.")
 	pw.value("nwcq_uptime_seconds", nil, time.Since(ix.created).Seconds())
 	pw.header("nwcq_slow_queries_total", "counter", "Queries that exceeded the slow-query threshold.")

@@ -5,7 +5,6 @@ import (
 	"os"
 	"time"
 
-	"nwcq/internal/core"
 	"nwcq/internal/geom"
 	"nwcq/internal/grid"
 	"nwcq/internal/iwp"
@@ -161,24 +160,33 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 	if err != nil {
 		return nil, err
 	}
-	ix, err := iwp.Build(tree)
+	frozen, err := tree.Freeze()
 	if err != nil {
 		return nil, err
 	}
-	tree.ResetVisits()
-	engine, err := core.NewEngine(tree, den, ix)
+	v, err := newView(frozen, den)
 	if err != nil {
 		return nil, err
 	}
-	return &PagedIndex{
+	iwpIdx, err := iwp.Build(frozen)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.setIWP(iwpIdx); err != nil {
+		return nil, err
+	}
+	frozen.ResetVisits()
+	px := &PagedIndex{
 		Index: Index{
-			points: gpts, tree: tree, grid: den, iwp: ix, engine: engine, options: o,
-			obs: newQueryMetrics(), pageStats: pages.Stats,
+			options: o,
+			obs:     newQueryMetrics(), pageStats: pages.Stats,
 			slow: newSlowLog(o.slowThreshold), created: time.Now(),
 		},
 		pages: pages,
 		file:  f,
-	}, nil
+	}
+	px.cur.Store(v)
+	return px, nil
 }
 
 // PageStats returns the pager's operation counters, including buffer-pool

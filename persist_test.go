@@ -189,3 +189,81 @@ func TestPagedMetricsExposePageCache(t *testing.T) {
 		t.Error("in-memory index metrics carry page_cache")
 	}
 }
+
+// TestPagedMutationPersists exercises the view-publication write path
+// on the paged store end to end: online Insert/Delete against a
+// PagedIndex must answer like a freshly built index over the same
+// points, and the mutated tree must survive Close + OpenPaged (shadow
+// pages are published and the old ones recycled through the free list).
+func TestPagedMutationPersists(t *testing.T) {
+	pts := testPoints(600, 41)
+	path := filepath.Join(t.TempDir(), "mutated.nwcq")
+	px, err := BuildPaged(pts, path, WithBulkLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := testPoints(100, 42)
+	want := append([]Point(nil), pts...)
+	for _, p := range extra {
+		p.ID += 50_000
+		if err := px.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	for i := 0; i < 80; i += 2 {
+		found, err := px.Delete(pts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("Delete(%v) found nothing", pts[i])
+		}
+	}
+	kept := want[:0]
+	for _, p := range want {
+		if p.ID < 80 && p.ID%2 == 0 {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	want = kept
+	if px.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", px.Len(), len(want))
+	}
+	fresh, err := Build(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 500, Y: 500, Length: 90, Width: 90, N: 5}
+	a, err := px.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Found != b.Found || math.Abs(a.Dist-b.Dist) > 1e-9 {
+		t.Fatalf("mutated paged index dist %v/%g, fresh %v/%g", a.Found, a.Dist, b.Found, b.Dist)
+	}
+	if err := px.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPaged(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(want))
+	}
+	c, err := re.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Found != b.Found || math.Abs(c.Dist-b.Dist) > 1e-9 {
+		t.Fatalf("reopened dist %v/%g, fresh %v/%g", c.Found, c.Dist, b.Found, b.Dist)
+	}
+}

@@ -1,0 +1,190 @@
+package nwcq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nwcq/internal/core"
+	"nwcq/internal/grid"
+	"nwcq/internal/iwp"
+	"nwcq/internal/rstar"
+)
+
+// Atomically published index views (RCU-style).
+//
+// All query-side state — the frozen R*-tree snapshot, the density grid,
+// the IWP pointers and the engine wired over them — is bundled into an
+// immutable view behind Index.cur. A query pins exactly one view at
+// entry (one atomic load plus one compare-and-swap, no lock, no
+// allocation) and runs against it for its whole lifetime, so it always
+// observes a single consistent version of the dataset no matter how
+// many mutations land meanwhile. Writers (Insert, Delete) serialise on
+// Index.wmu, build the next version off the query path with
+// copy-on-write structures (rstar.WriteBatch, grid.WithAdd/WithRemove),
+// and publish it with a single pointer swap.
+//
+// Superseded views join a FIFO retire queue. Each carries the node IDs
+// its replacement retired; those IDs stay readable until every query
+// pinning this or any older view finishes, at which point the writer
+// tombstones the queue head (refs 0 → -1) and returns the IDs to the
+// store's allocator. Queue order guarantees an ID is never recycled
+// while a reader of any version that could reference it is alive.
+type view struct {
+	tree *rstar.Tree   // frozen snapshot; safe for lock-free reads
+	grid *grid.Density // immutable (reached only via COW derivation)
+	eng  *core.Engine  // SRR/DIP/DEP engine over tree+grid; no IWP
+
+	// IWP pointers are built per view, on demand, exactly once: the
+	// first IWP-scheme query on a fresh view populates iwpState under
+	// iwpMu (single-flight); every later query reads it with one atomic
+	// load. The initial view from Build/OpenPaged has it pre-populated,
+	// so steady-state reads never touch the mutex.
+	iwpMu    sync.Mutex
+	iwpState atomic.Pointer[iwpState]
+	// iwpBytesHint carries the superseded view's IWP footprint so
+	// StorageOverheadBytes stays meaningful before this view's own
+	// pointers are (lazily) built.
+	iwpBytesHint int
+
+	// refs counts queries currently pinning this view. The writer
+	// tombstones a superseded view by swapping 0 → -1, after which no
+	// new query can pin it and its retired node IDs can be released.
+	refs atomic.Int64
+	// retired holds the node IDs superseded by the commit that replaced
+	// this view (set by the writer when the view is enqueued for
+	// retirement; readers never touch it).
+	retired []rstar.NodeID
+}
+
+// iwpState is the immutable result of one IWP build for a view: the
+// pointer sets and the full engine wired over them, or the error the
+// build produced (cached so every query fails identically rather than
+// re-running a failing build).
+type iwpState struct {
+	idx *iwp.Index
+	eng *core.Engine
+	err error
+}
+
+// newView assembles a view over a frozen tree and an immutable grid,
+// building the non-IWP engine eagerly. The IWP side starts empty unless
+// the caller pre-populates iwpState (Build does; mutations do not).
+func newView(tree *rstar.Tree, den *grid.Density) (*view, error) {
+	eng, err := core.NewEngine(tree, den, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &view{tree: tree, grid: den, eng: eng}, nil
+}
+
+// setIWP pre-populates the view's IWP state (build path, where the
+// pointers are constructed before the view is published).
+func (v *view) setIWP(idx *iwp.Index) error {
+	eng, err := core.NewEngine(v.tree, v.grid, idx)
+	if err != nil {
+		return err
+	}
+	v.iwpState.Store(&iwpState{idx: idx, eng: eng})
+	return nil
+}
+
+// iwpBytes reports the view's IWP storage footprint: the built
+// pointers' if present, the predecessor's otherwise.
+func (v *view) iwpBytes() int {
+	if st := v.iwpState.Load(); st != nil && st.idx != nil {
+		return st.idx.StorageBytes()
+	}
+	return v.iwpBytesHint
+}
+
+// acquire pins the current view for one query. The loop handles the
+// one race that exists: between loading ix.cur and incrementing refs,
+// the writer may have superseded and tombstoned the view (refs -1), in
+// which case the load is retried — the second iteration sees the new
+// current view. Queries on a superseded-but-not-tombstoned view are
+// fine: its refs held it out of reclamation.
+func (ix *Index) acquire() *view {
+	for {
+		v := ix.cur.Load()
+		r := v.refs.Load()
+		if r < 0 {
+			continue // tombstoned just after we loaded it; reload
+		}
+		if v.refs.CompareAndSwap(r, r+1) {
+			return v
+		}
+	}
+}
+
+// release unpins a view acquired by acquire.
+func (v *view) release() { v.refs.Add(-1) }
+
+// engineFor returns the engine a query under scheme must run on:
+// the view's base engine, or — for IWP schemes — the IWP engine,
+// building the pointers for this view on first use (single-flight; the
+// race that previously let two queries install half-swapped engines is
+// structurally gone because the state is immutable once stored).
+func (ix *Index) engineFor(v *view, scheme core.Scheme) (*core.Engine, error) {
+	if !scheme.IWP {
+		return v.eng, nil
+	}
+	if st := v.iwpState.Load(); st != nil {
+		return st.eng, st.err
+	}
+	v.iwpMu.Lock()
+	defer v.iwpMu.Unlock()
+	if st := v.iwpState.Load(); st != nil {
+		return st.eng, st.err
+	}
+	// The build walks the snapshot through the cumulative visit counter:
+	// rebuild cost is real service I/O and shows up in IOStats, but it
+	// never resets the counter (the pre-view code zeroed it here,
+	// clobbering service-lifetime stats) and never pollutes any query's
+	// private Stats.
+	st := &iwpState{}
+	st.idx, st.err = iwp.Build(v.tree)
+	if st.err == nil {
+		st.eng, st.err = core.NewEngine(v.tree, v.grid, st.idx)
+	}
+	v.iwpState.Store(st)
+	ix.obs.iwpRebuilds.Inc()
+	return st.eng, st.err
+}
+
+// publishLocked installs the next version: swap in the new view, queue
+// the old one for retirement carrying the node IDs its replacement
+// obsoleted, and opportunistically drain the queue. Callers hold
+// ix.wmu. On error nothing has been published.
+func (ix *Index) publishLocked(tree *rstar.Tree, den *grid.Density, retired []rstar.NodeID) error {
+	nv, err := newView(tree, den)
+	if err != nil {
+		return err
+	}
+	old := ix.cur.Load()
+	nv.iwpBytesHint = old.iwpBytes()
+	old.retired = retired
+	ix.retireq = append(ix.retireq, old)
+	ix.cur.Store(nv)
+	ix.drainRetiredLocked()
+	return nil
+}
+
+// drainRetiredLocked releases the retire queue's prefix of quiesced
+// views. The queue is FIFO and a view's retired IDs may be referenced
+// by any version up to it, so the head is the only candidate: once its
+// refs CAS 0 → -1 succeeds (tombstone — no later acquire can resurrect
+// it), every version that could reach its retired IDs has drained and
+// they return to the allocator. A pinned head stops the drain; the next
+// publish retries. Callers hold ix.wmu.
+func (ix *Index) drainRetiredLocked() {
+	cur := ix.cur.Load()
+	for len(ix.retireq) > 0 {
+		h := ix.retireq[0]
+		if !h.refs.CompareAndSwap(0, -1) {
+			return
+		}
+		_ = cur.tree.ReleaseNodes(h.retired)
+		ix.retireq[0] = nil
+		ix.retireq = ix.retireq[1:]
+	}
+}
