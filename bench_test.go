@@ -684,6 +684,73 @@ func BenchmarkPagedParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPagedInsertWAL measures durable insert cost on a disk-backed
+// index across the three WAL sync policies and three batch sizes. The
+// fsyncs/op metric counts both WAL and page-file fsyncs, so it shows
+// how group commit and batching amortise the dominant durability cost:
+// sync=always/batch=1 pays roughly one fsync per insert, while larger
+// batches and the relaxed policies collapse toward zero.
+func BenchmarkPagedInsertWAL(b *testing.B) {
+	raw := datagen.Uniform(20000, 11)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	policies := []struct {
+		name string
+		opt  BuildOption
+	}{
+		{"always", WithWALSync(SyncAlways)},
+		{"interval", WithWALSyncInterval(10 * time.Millisecond)},
+		{"never", WithWALSync(SyncNever)},
+	}
+	for _, pol := range policies {
+		for _, batch := range []int{1, 16, 128} {
+			b.Run(fmt.Sprintf("sync=%s/batch=%d", pol.name, batch), func(b *testing.B) {
+				path := filepath.Join(b.TempDir(), "bench.nwcq")
+				px, err := BuildPaged(pts, path, WithBulkLoad(), pol.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer px.Close()
+				rng := rand.New(rand.NewSource(13))
+				nextID := uint64(1 << 32)
+				fresh := func() Point {
+					nextID++
+					return Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000, ID: nextID}
+				}
+				syncs0 := px.dur.log.Stats().Syncs + px.PageStats().Syncs
+				b.ReportAllocs()
+				b.ResetTimer()
+				if batch == 1 {
+					for i := 0; i < b.N; i++ {
+						if err := px.Insert(fresh()); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					buf := make([]Point, batch)
+					for i := 0; i < b.N; i += batch {
+						n := batch
+						if rem := b.N - i; rem < n {
+							n = rem
+						}
+						for j := 0; j < n; j++ {
+							buf[j] = fresh()
+						}
+						if err := px.InsertBatch(buf[:n]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				syncs1 := px.dur.log.Stats().Syncs + px.PageStats().Syncs
+				b.ReportMetric(float64(syncs1-syncs0)/float64(b.N), "fsyncs/op")
+			})
+		}
+	}
+}
+
 // BenchmarkAblation regenerates the design-choice ablation tables
 // (build method, fan-out, IWP pointer spacing).
 func BenchmarkAblation(b *testing.B) {

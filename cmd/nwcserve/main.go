@@ -3,6 +3,8 @@
 //
 //	nwcgen -dataset ca > ca.csv
 //	nwcserve -data ca.csv -addr :8080 -slowlog 100ms
+//	nwcserve -data ca.csv -index ca.nwc        # paged, WAL-protected
+//	nwcserve -index ca.nwc                     # reopen (crash recovery)
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8'
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8&explain=1'
 //	curl 'localhost:8080/knwc?x=5000&y=5000&l=50&w=50&n=8&k=3&m=1'
@@ -11,18 +13,30 @@
 //	curl 'localhost:8080/debug/slowlog'
 //	go tool pprof 'localhost:8080/debug/pprof/profile?seconds=10'
 //
+// With -index the tree lives on disk and POST /insert and /delete are
+// crash-safe: each mutation is written ahead to <index>.wal/ before it
+// is acknowledged (tune with -wal-sync and -wal-sync-interval), and
+// reopening after a crash replays the log. SIGINT/SIGTERM shut the
+// server down gracefully: in-flight requests get -shutdown-timeout to
+// finish, then the index is checkpointed and closed so the next start
+// needs no recovery.
+//
 // Every request is logged through log/slog (text by default, JSON with
 // -log-format json); profiling endpoints are mounted under
 // /debug/pprof/.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"nwcq"
@@ -32,12 +46,16 @@ import (
 
 func main() {
 	var (
-		data      = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		bulk      = flag.Bool("bulk", true, "bulk-load the index")
-		slowlog   = flag.Duration("slowlog", 0, "slow-query log threshold (0 disables), e.g. 100ms")
-		logFormat = flag.String("log-format", "text", "access log format: text or json")
-		accessLog = flag.Bool("access-log", true, "log every HTTP request")
+		data        = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
+		index       = flag.String("index", "", "page file for a disk-backed index: reopened if it exists (replaying its WAL), else built from -data")
+		addr        = flag.String("addr", ":8080", "listen address")
+		bulk        = flag.Bool("bulk", true, "bulk-load the index")
+		slowlog     = flag.Duration("slowlog", 0, "slow-query log threshold (0 disables), e.g. 100ms")
+		walSync     = flag.String("wal-sync", "always", "WAL fsync policy for -index: always, interval or never")
+		walInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync cadence when -wal-sync=interval")
+		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		logFormat   = flag.String("log-format", "text", "access log format: text or json")
+		accessLog   = flag.Bool("access-log", true, "log every HTTP request")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -46,39 +64,27 @@ func main() {
 		os.Exit(2)
 	}
 	slog.SetDefault(logger)
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "nwcserve: -data is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	f, err := os.Open(*data)
-	if err != nil {
-		fatal(logger, err)
-	}
-	raw, err := datagen.LoadCSV(f)
-	f.Close()
-	if err != nil {
-		fatal(logger, err)
-	}
-	pts := make([]nwcq.Point, len(raw))
-	for i, p := range raw {
-		pts[i] = nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}
-	}
 	opts := []nwcq.BuildOption{nwcq.WithSlowQueryThreshold(*slowlog)}
 	if *bulk {
 		opts = append(opts, nwcq.WithBulkLoad())
 	}
-	started := time.Now()
-	idx, err := nwcq.Build(pts, opts...)
+	switch *walSync {
+	case "always":
+		opts = append(opts, nwcq.WithWALSync(nwcq.SyncAlways))
+	case "interval":
+		opts = append(opts, nwcq.WithWALSyncInterval(*walInterval))
+	case "never":
+		opts = append(opts, nwcq.WithWALSync(nwcq.SyncNever))
+	default:
+		fmt.Fprintf(os.Stderr, "nwcserve: unknown -wal-sync %q (want always, interval or never)\n", *walSync)
+		os.Exit(2)
+	}
+
+	idx, closeIndex, err := openIndex(logger, *data, *index, opts)
 	if err != nil {
 		fatal(logger, err)
 	}
-	logger.Info("indexed",
-		"points", idx.Len(),
-		"elapsed", time.Since(started).Round(time.Millisecond),
-		"tree_height", idx.TreeHeight(),
-		"slow_query_threshold", *slowlog)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", server.New(idx).Handler())
@@ -98,8 +104,107 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting
+	// connections and gives in-flight requests -shutdown-timeout to
+	// finish; a second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving NWC queries", "addr", *addr)
-	fatal(logger, srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		fatal(logger, err)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "grace", *shutdownTO)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+		err := srv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+		}
+	}
+	// The server is drained (or timed out): checkpoint and release the
+	// index so the next start opens clean, with no WAL to replay.
+	if err := closeIndex(); err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("stopped")
+}
+
+// openIndex builds or opens the index per the flags: a paged index when
+// indexPath is set (reopened if the file exists, built from data
+// otherwise), an in-memory index built from data when it is not. The
+// returned func releases whatever was opened.
+func openIndex(logger *slog.Logger, data, indexPath string, opts []nwcq.BuildOption) (*nwcq.Index, func() error, error) {
+	started := time.Now()
+	if indexPath != "" {
+		if _, err := os.Stat(indexPath); err == nil {
+			px, err := nwcq.OpenPaged(indexPath, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			logger.Info("opened paged index",
+				"path", indexPath,
+				"points", px.Len(),
+				"elapsed", time.Since(started).Round(time.Millisecond),
+				"tree_height", px.TreeHeight())
+			return &px.Index, px.Close, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, err
+		}
+	}
+	if data == "" {
+		if indexPath != "" {
+			return nil, nil, fmt.Errorf("index file %s does not exist and -data was not given to build it", indexPath)
+		}
+		return nil, nil, errors.New("-data is required (or -index pointing at an existing index file)")
+	}
+	pts, err := loadPoints(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if indexPath != "" {
+		px, err := nwcq.BuildPaged(pts, indexPath, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		logger.Info("built paged index",
+			"path", indexPath,
+			"points", px.Len(),
+			"elapsed", time.Since(started).Round(time.Millisecond),
+			"tree_height", px.TreeHeight())
+		return &px.Index, px.Close, nil
+	}
+	idx, err := nwcq.Build(pts, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	logger.Info("indexed",
+		"points", idx.Len(),
+		"elapsed", time.Since(started).Round(time.Millisecond),
+		"tree_height", idx.TreeHeight())
+	return idx, func() error { return nil }, nil
+}
+
+func loadPoints(path string) ([]nwcq.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := datagen.LoadCSV(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]nwcq.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	return pts, nil
 }
 
 func newLogger(format string) (*slog.Logger, error) {

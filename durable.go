@@ -1,0 +1,338 @@
+package nwcq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"nwcq/internal/geom"
+	"nwcq/internal/pager"
+	"nwcq/internal/rstar"
+	"nwcq/internal/wal"
+)
+
+// Durability binding for paged indexes: mutations append a logical
+// record to the write-ahead log before the page store publishes the
+// change, checkpoints fold the log into the page file once it passes a
+// size threshold, and OpenPaged replays committed records past the last
+// checkpoint (durable.go owns the record format and the protocol;
+// internal/wal owns frames, segments and fsync scheduling).
+//
+// Protocol invariants:
+//
+//   - Log before publish: the record for a mutation is appended (though
+//     not necessarily fsynced) before WriteBatch.Commit writes the
+//     shadow pages' new root linkage. The page file's durable commit
+//     point is the checkpointed header, which only advances after the
+//     log covering it is fsynced, so a crash at any step recovers a
+//     prefix of acknowledged mutations.
+//   - Aborts: if the commit or publish fails after the record was
+//     appended, an abort record neutralises it for replay. If even the
+//     abort cannot be appended the log is poisoned (sticky error) and
+//     further mutations are refused — the torn state stays frozen for
+//     recovery instead of diverging.
+//   - Freed pages stay untouched until the checkpoint that stops
+//     referencing them is durable: reader-quiesced retired node IDs
+//     wait in pending (drainRetiredLocked routes them here) and return
+//     to the allocator only after WriteCheckpoint fsyncs the header.
+//   - Recovery replays through the same copy-on-write path as live
+//     mutations. With an empty free set, replay only appends pages, so
+//     it never overwrites state the checkpoint still needs — a crash
+//     during recovery just recovers again from the same base.
+
+// SyncPolicy selects when a mutation's WAL record is fsynced, trading
+// durability of the most recent writes against latency. See the README
+// "Durability" section for the exact guarantee each policy gives.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before a mutation returns: an acknowledged
+	// write survives any crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs in the background at a configurable interval
+	// (WithWALSyncInterval): a crash loses at most the last interval's
+	// acknowledged writes, never corrupts the index.
+	SyncInterval
+	// SyncNever leaves fsync to segment rotation, checkpoints and
+	// Close: a crash loses an unbounded suffix of acknowledged writes,
+	// never corrupts the index.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+const (
+	// defaultCheckpointBytes triggers a checkpoint once this many log
+	// bytes accumulate (WithWALCheckpointBytes overrides).
+	defaultCheckpointBytes = 1 << 20
+	// defaultSyncInterval is the SyncInterval flush cadence when
+	// WithWALSyncInterval is not given a duration.
+	defaultSyncInterval = 100 * time.Millisecond
+)
+
+// Record payloads: one op byte, then op-specific data. Insert/delete
+// carry a point batch (single mutations are batches of one); abort
+// carries the LSN it neutralises.
+const (
+	recInsert byte = 1
+	recDelete byte = 2
+	recAbort  byte = 3
+)
+
+const recPointSize = 24 // x, y float64 bits + id, all big-endian u64
+
+// encodeMutation serialises an insert or delete batch.
+func encodeMutation(op byte, pts []geom.Point) []byte {
+	buf := make([]byte, 5+len(pts)*recPointSize)
+	buf[0] = op
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(pts)))
+	off := 5
+	for _, p := range pts {
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(p.X))
+		binary.BigEndian.PutUint64(buf[off+8:], math.Float64bits(p.Y))
+		binary.BigEndian.PutUint64(buf[off+16:], p.ID)
+		off += recPointSize
+	}
+	return buf
+}
+
+// decodeMutation parses an insert or delete payload (op already read).
+func decodeMutation(data []byte) ([]geom.Point, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("nwcq: wal record truncated (%d bytes)", len(data))
+	}
+	n := int(binary.BigEndian.Uint32(data[1:5]))
+	if len(data) != 5+n*recPointSize {
+		return nil, fmt.Errorf("nwcq: wal record claims %d points in %d bytes", n, len(data))
+	}
+	pts := make([]geom.Point, n)
+	off := 5
+	for i := range pts {
+		pts[i] = geom.Point{
+			X:  math.Float64frombits(binary.BigEndian.Uint64(data[off:])),
+			Y:  math.Float64frombits(binary.BigEndian.Uint64(data[off+8:])),
+			ID: binary.BigEndian.Uint64(data[off+16:]),
+		}
+		off += recPointSize
+	}
+	return pts, nil
+}
+
+func encodeAbort(lsn uint64) []byte {
+	buf := make([]byte, 9)
+	buf[0] = recAbort
+	binary.BigEndian.PutUint64(buf[1:], lsn)
+	return buf
+}
+
+// durability binds a WAL to a paged index. All mutable fields are
+// guarded by Index.wmu (mutations, checkpoints and Close already
+// serialise there); the atomic counters feed Metrics without it.
+type durability struct {
+	log       *wal.Log
+	pages     *pager.Store
+	policy    SyncPolicy
+	ckptBytes int64
+
+	// pending holds reader-quiesced retired node IDs awaiting a durable
+	// checkpoint before they may be reallocated. Guarded by Index.wmu.
+	pending []rstar.NodeID
+	// walFailed poisons mutations after an append failure; ckptErr
+	// remembers a failed checkpoint until one succeeds (surfaced by
+	// Close if never cleared). Guarded by Index.wmu.
+	walFailed error
+	ckptErr   error
+
+	checkpoints atomic.Uint64
+	replayed    uint64 // records replayed at open; written once
+}
+
+func newDurability(log *wal.Log, pages *pager.Store, o buildOptions) *durability {
+	ckpt := o.walCheckpointBytes
+	if ckpt <= 0 {
+		ckpt = defaultCheckpointBytes
+	}
+	return &durability{log: log, pages: pages, policy: o.walSync, ckptBytes: ckpt}
+}
+
+// append logs one mutation record. Called under Index.wmu, before the
+// write batch commits.
+func (d *durability) append(op byte, pts []geom.Point) (uint64, error) {
+	if d.walFailed != nil {
+		return 0, fmt.Errorf("nwcq: write-ahead log failed, index is read-only: %w", d.walFailed)
+	}
+	lsn, err := d.log.Append(encodeMutation(op, pts))
+	if err != nil {
+		d.walFailed = err
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// abort neutralises an appended record whose mutation failed to commit.
+// If the abort itself cannot be appended, the log is poisoned: replay
+// would otherwise apply a mutation the caller saw fail.
+func (d *durability) abort(lsn uint64) {
+	if d.walFailed != nil {
+		return
+	}
+	if _, err := d.log.Append(encodeAbort(lsn)); err != nil {
+		d.walFailed = err
+	}
+}
+
+// waitDurable blocks until lsn is on stable storage, per policy. Called
+// after Index.wmu is released, so committers queued behind an fsync
+// coalesce with it (group commit) while the next writer proceeds.
+func (d *durability) waitDurable(lsn uint64) error {
+	if d.policy != SyncAlways || lsn == 0 {
+		return nil
+	}
+	return d.log.Sync(lsn)
+}
+
+// maybeCheckpointLocked checkpoints when enough log accumulated since
+// the last one. A checkpoint failure does not fail the mutation — its
+// record is already safely logged — but is remembered for Close.
+// Called under Index.wmu; tree is the current published tree.
+func (d *durability) maybeCheckpointLocked(tree *rstar.Tree) {
+	if d.log.SizeSinceCheckpoint() < d.ckptBytes {
+		return
+	}
+	if err := d.checkpointLocked(tree); err != nil {
+		d.ckptErr = err
+	}
+}
+
+// checkpointLocked folds the log into the page file:
+//
+//	fsync log → fsync data pages → write+fsync header (the commit
+//	point: root, page count, checkpoint LSN in one page write) →
+//	release pending retired pages → recycle covered segments.
+//
+// Called under Index.wmu (or during open, before the Index exists).
+func (d *durability) checkpointLocked(tree *rstar.Tree) error {
+	lsn := d.log.AppendedLSN()
+	if err := d.log.Sync(lsn); err != nil {
+		return fmt.Errorf("nwcq: checkpoint: %w", err)
+	}
+	if err := d.pages.SyncData(); err != nil {
+		return fmt.Errorf("nwcq: checkpoint: %w", err)
+	}
+	if err := d.pages.WriteCheckpoint(lsn); err != nil {
+		return fmt.Errorf("nwcq: checkpoint: %w", err)
+	}
+	// The durable image no longer references the pending pages; they
+	// may be reallocated now (volatile free list, no page writes).
+	if len(d.pending) > 0 {
+		if err := tree.ReleaseNodes(d.pending); err != nil {
+			return fmt.Errorf("nwcq: checkpoint: release retired pages: %w", err)
+		}
+		d.pending = nil
+	}
+	if err := d.log.Checkpointed(lsn); err != nil {
+		return fmt.Errorf("nwcq: checkpoint: %w", err)
+	}
+	d.ckptErr = nil
+	d.checkpoints.Add(1)
+	return nil
+}
+
+// replayWAL applies committed records past the checkpoint through the
+// same COW write path live mutations use, returning the recovered tree
+// and the number of records applied. The free set is empty during
+// replay, so every shadow allocation extends the file and the
+// checkpointed image stays intact — a crash mid-replay recovers again
+// from the same base.
+func replayWAL(tree *rstar.Tree, log *wal.Log, afterLSN uint64) (*rstar.Tree, int, error) {
+	recs := log.Records(afterLSN)
+	if len(recs) == 0 {
+		return tree, 0, nil
+	}
+	aborted := make(map[uint64]bool)
+	for _, r := range recs {
+		if len(r.Data) == 9 && r.Data[0] == recAbort {
+			aborted[binary.BigEndian.Uint64(r.Data[1:])] = true
+		}
+	}
+	applied := 0
+	for _, r := range recs {
+		if len(r.Data) == 0 {
+			return nil, applied, fmt.Errorf("nwcq: empty wal record at lsn %d", r.LSN)
+		}
+		op := r.Data[0]
+		if op == recAbort || aborted[r.LSN] {
+			continue
+		}
+		if op != recInsert && op != recDelete {
+			return nil, applied, fmt.Errorf("nwcq: unknown wal record op %d at lsn %d", op, r.LSN)
+		}
+		pts, err := decodeMutation(r.Data)
+		if err != nil {
+			return nil, applied, fmt.Errorf("nwcq: lsn %d: %w", r.LSN, err)
+		}
+		b, err := tree.BeginWrite()
+		if err != nil {
+			return nil, applied, err
+		}
+		for _, p := range pts {
+			if op == recInsert {
+				err = b.Tree().Insert(p)
+			} else {
+				// A logged delete found its point when it committed;
+				// replay tolerates an absent point (the record may
+				// re-run after a checkpoint landed part of its batch's
+				// effects — impossible for one batch, but harmless to
+				// allow).
+				_, err = b.Tree().Delete(p)
+			}
+			if err != nil {
+				b.Discard()
+				return nil, applied, fmt.Errorf("nwcq: replay lsn %d: %w", r.LSN, err)
+			}
+		}
+		next, _, err := b.Commit()
+		if err != nil {
+			return nil, applied, fmt.Errorf("nwcq: replay lsn %d: %w", r.LSN, err)
+		}
+		// Retired IDs are ignored: reachability reconstruction after
+		// replay returns every stale page to the allocator at once.
+		tree = next
+		applied++
+	}
+	return tree, applied, nil
+}
+
+// rebuildFreeSet reinstates the page allocator's free list as the
+// complement of the recovered tree's reachable pages — the only ground
+// truth after a crash, since the free list is volatile under WAL.
+func rebuildFreeSet(tree *rstar.Tree, pages *pager.Store) error {
+	ids, err := tree.NodeIDs()
+	if err != nil {
+		return err
+	}
+	reachable := make(map[pager.PageID]bool, len(ids))
+	for _, id := range ids {
+		reachable[pager.PageID(id)] = true
+	}
+	var free []pager.PageID
+	for id := 1; id < pages.NumPages(); id++ {
+		if !reachable[pager.PageID(id)] {
+			free = append(free, pager.PageID(id))
+		}
+	}
+	return pages.AddFreePages(free)
+}

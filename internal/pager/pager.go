@@ -84,6 +84,9 @@ type Stats struct {
 	// another reader's in-flight file read instead of issuing their own
 	// (the single-flight saving: Coalesced misses cost no physical read).
 	Coalesced uint64
+	// Syncs counts fsyncs of the backing file (Sync, SyncData,
+	// WriteCheckpoint) — the dominant cost of checkpoints.
+	Syncs uint64
 }
 
 // storeStats is the atomic backing of Stats.
@@ -91,6 +94,7 @@ type storeStats struct {
 	reads, writes, allocs, frees atomic.Uint64
 	cacheHits, cacheMisses       atomic.Uint64
 	evictions, coalesced         atomic.Uint64
+	syncs                        atomic.Uint64
 }
 
 func (s *storeStats) snapshot() Stats {
@@ -103,6 +107,7 @@ func (s *storeStats) snapshot() Stats {
 		CacheMisses: s.cacheMisses.Load(),
 		Evictions:   s.evictions.Load(),
 		Coalesced:   s.coalesced.Load(),
+		Syncs:       s.syncs.Load(),
 	}
 }
 
@@ -115,6 +120,7 @@ func (s *storeStats) reset() {
 	s.cacheMisses.Store(0)
 	s.evictions.Store(0)
 	s.coalesced.Store(0)
+	s.syncs.Store(0)
 }
 
 // ErrChecksum is returned when a page read fails CRC verification.
@@ -133,6 +139,10 @@ type File interface {
 	io.ReaderAt
 	io.WriterAt
 	Truncate(size int64) error
+	// Sync makes previously written bytes durable (fsync). Page writes
+	// are write-through but land in the OS cache; checkpoints call Sync
+	// to pin them to stable storage.
+	Sync() error
 }
 
 // MemFile is an in-memory File for tests and ephemeral stores.
@@ -186,6 +196,9 @@ func (f *MemFile) Truncate(size int64) error {
 	return nil
 }
 
+// Sync implements File; memory is always "durable".
+func (f *MemFile) Sync() error { return nil }
+
 // Len returns the current file size in bytes.
 func (f *MemFile) Len() int {
 	f.mu.RLock()
@@ -222,6 +235,19 @@ type Store struct {
 	freeHead PageID // head of the free-list chain, InvalidPage if none
 	dirtyHdr bool
 
+	// volatileFree switches Free/Allocate to an in-memory free set that
+	// never touches pages on disk. WAL-backed stores use it: the durable
+	// intrusive free list would scribble into pages the last checkpoint
+	// still references, and recovery rebuilds the set from tree
+	// reachability anyway.
+	volatileFree bool
+	freeMem      []PageID
+
+	// ckptLSN is the WAL position whose effects the on-disk pages fully
+	// contain; persisted in the header by WriteCheckpoint. Zero on
+	// stores that never checkpointed (including pre-WAL files).
+	ckptLSN uint64
+
 	// UserRoot is an application-owned page reference persisted in the
 	// header (the R*-tree stores its root here). Set via SetUserRoot.
 	userRoot PageID
@@ -244,12 +270,20 @@ type Options struct {
 	// (up to 16 ways for large capacities), so the capacity is a total
 	// across shards and eviction is approximately LRU per shard.
 	CacheSize int
+
+	// VolatileFreeList keeps the free list in memory only: Free never
+	// writes to the page and the header records no free chain. Required
+	// under a write-ahead log, where freed pages may still be reachable
+	// from the durable checkpoint root; the owner reconstructs the free
+	// set after recovery via AddFreePages.
+	VolatileFreeList bool
 }
 
 func newStore(f File, opt Options) *Store {
 	s := &Store{
-		file:   f,
-		flight: make(map[PageID]*flightCall),
+		file:         f,
+		flight:       make(map[PageID]*flightCall),
+		volatileFree: opt.VolatileFreeList,
 	}
 	s.pool = newPool(opt.CacheSize, &s.stats.evictions)
 	return s
@@ -351,7 +385,13 @@ func (s *Store) Allocate() (PageID, error) {
 	s.meta.Lock()
 	defer s.meta.Unlock()
 	s.stats.allocs.Add(1)
-	if s.freeHead != InvalidPage {
+	if s.volatileFree {
+		if n := len(s.freeMem); n > 0 {
+			id := s.freeMem[n-1]
+			s.freeMem = s.freeMem[:n-1]
+			return id, nil
+		}
+	} else if s.freeHead != InvalidPage {
 		id := s.freeHead
 		buf, err := s.Read(id)
 		if err != nil {
@@ -373,7 +413,9 @@ func (s *Store) Allocate() (PageID, error) {
 }
 
 // Free returns a page to the free list. The page's content is no longer
-// meaningful after Free.
+// meaningful after Free. With a volatile free list the page bytes are
+// left untouched (a durable checkpoint may still reference them); the
+// page simply becomes reusable by a later Allocate.
 func (s *Store) Free(id PageID) error {
 	if err := s.checkRange(id); err != nil {
 		return err
@@ -381,6 +423,10 @@ func (s *Store) Free(id PageID) error {
 	s.meta.Lock()
 	defer s.meta.Unlock()
 	s.stats.frees.Add(1)
+	if s.volatileFree {
+		s.freeMem = append(s.freeMem, id)
+		return nil
+	}
 	buf := make([]byte, payloadSize)
 	putBE32(buf[:4], uint32(s.freeHead))
 	if err := s.writePage(id, buf); err != nil {
@@ -388,6 +434,20 @@ func (s *Store) Free(id PageID) error {
 	}
 	s.freeHead = id
 	s.dirtyHdr = true
+	return nil
+}
+
+// AddFreePages hands the volatile free list a batch of reusable pages.
+// Recovery uses it to reinstate the free set (every page the final tree
+// does not reach); owners also use it to release retired shadow pages
+// once the checkpoint that stops referencing them is durable.
+func (s *Store) AddFreePages(ids []PageID) error {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	if !s.volatileFree {
+		return errors.New("pager: AddFreePages requires a volatile free list")
+	}
+	s.freeMem = append(s.freeMem, ids...)
 	return nil
 }
 
@@ -529,14 +589,59 @@ func (s *Store) writePage(id PageID, payload []byte) error {
 	return nil
 }
 
-// Sync flushes the header. Page writes are write-through, so after Sync
-// the file is a complete, reopenable image.
+// Sync flushes the header and fsyncs the backing file. Page writes are
+// write-through, so after Sync the file is a complete, reopenable,
+// durable image.
 func (s *Store) Sync() error {
 	s.meta.Lock()
 	defer s.meta.Unlock()
 	if s.dirtyHdr {
-		return s.flushHeaderLocked()
+		if err := s.flushHeaderLocked(); err != nil {
+			return err
+		}
 	}
+	return s.fsyncLocked()
+}
+
+// SyncData fsyncs the backing file without touching the header. The
+// checkpoint protocol uses it to pin shadow pages to stable storage
+// before the header flip makes them reachable.
+func (s *Store) SyncData() error {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	return s.fsyncLocked()
+}
+
+// CheckpointLSN returns the WAL position recorded by the last
+// WriteCheckpoint (zero if none).
+func (s *Store) CheckpointLSN() uint64 {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	return s.ckptLSN
+}
+
+// WriteCheckpoint atomically commits the current root/page state as the
+// durable image covering WAL records up to lsn: it writes the header
+// (root, page count, checkpoint LSN) in one page-sized write and fsyncs.
+// Callers must have fsynced the data pages first (SyncData); the single
+// header write is the commit point — before it the old checkpoint is
+// recovered, after it the new one.
+func (s *Store) WriteCheckpoint(lsn uint64) error {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	s.ckptLSN = lsn
+	if err := s.flushHeaderLocked(); err != nil {
+		return err
+	}
+	return s.fsyncLocked()
+}
+
+// fsyncLocked syncs the backing file and counts it. Caller holds meta.
+func (s *Store) fsyncLocked() error {
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("pager: sync: %w", err)
+	}
+	s.stats.syncs.Add(1)
 	return nil
 }
 
@@ -552,17 +657,23 @@ func (s *Store) checkRange(id PageID) error {
 //	[0:4]   magic
 //	[4:8]   version
 //	[8:12]  numPages
-//	[12:16] freeHead
+//	[12:16] freeHead (InvalidPage under a volatile free list)
 //	[16:20] userRoot
 //	[20:84] userMeta
+//	[84:92] checkpoint LSN
 func (s *Store) flushHeaderLocked() error {
 	buf := make([]byte, payloadSize)
 	putBE32(buf[0:4], magic)
 	putBE32(buf[4:8], version)
 	putBE32(buf[8:12], s.numPages.Load())
-	putBE32(buf[12:16], uint32(s.freeHead))
+	head := s.freeHead
+	if s.volatileFree {
+		head = InvalidPage
+	}
+	putBE32(buf[12:16], uint32(head))
 	putBE32(buf[16:20], uint32(s.userRoot))
 	copy(buf[20:84], s.userMeta[:])
+	putBE64(buf[84:92], s.ckptLSN)
 	raw := make([]byte, PageSize)
 	copy(raw, buf)
 	putBE32(raw[payloadSize:], crc32.ChecksumIEEE(raw[:payloadSize]))
@@ -590,8 +701,15 @@ func (s *Store) readHeader() error {
 	}
 	s.numPages.Store(be32(payload[8:12]))
 	s.freeHead = PageID(be32(payload[12:16]))
+	if s.volatileFree {
+		// The durable chain (if any, e.g. a file written without a WAL)
+		// is ignored; the owner rebuilds the free set from reachability
+		// after recovery.
+		s.freeHead = InvalidPage
+	}
 	s.userRoot = PageID(be32(payload[16:20]))
 	copy(s.userMeta[:], payload[20:84])
+	s.ckptLSN = be64(payload[84:92])
 	return nil
 }
 
@@ -604,4 +722,13 @@ func putBE32(b []byte, v uint32) {
 	b[1] = byte(v >> 16)
 	b[2] = byte(v >> 8)
 	b[3] = byte(v)
+}
+
+func be64(b []byte) uint64 {
+	return uint64(be32(b[:4]))<<32 | uint64(be32(b[4:8]))
+}
+
+func putBE64(b []byte, v uint64) {
+	putBE32(b[:4], uint32(v>>32))
+	putBE32(b[4:8], uint32(v))
 }

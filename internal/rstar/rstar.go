@@ -217,3 +217,29 @@ func (t *Tree) MBR() (geom.Rect, error) {
 	}
 	return root.MBR(), nil
 }
+
+// NodeIDs walks the tree and returns the id of every reachable node
+// (root included; empty for an empty tree). Crash recovery uses the set
+// to reconstruct the page allocator's free list as the complement of
+// reachability. The walk counts visits on the cumulative counter;
+// callers that care reset it afterwards.
+func (t *Tree) NodeIDs() ([]NodeID, error) {
+	if t.root == InvalidNode {
+		return nil, nil
+	}
+	var ids []NodeID
+	stack := []NodeID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ids = append(ids, id)
+		n, err := t.store.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if !n.Leaf {
+			stack = append(stack, n.Children...)
+		}
+	}
+	return ids, nil
+}

@@ -24,6 +24,9 @@
 // Mutations may run concurrently with queries: the index publishes
 // immutable views atomically, so every in-flight GET observes one
 // consistent version and POST /insert / POST /delete never block reads.
+// When the server wraps a paged index (nwcserve -index), a mutation is
+// additionally written ahead to the index's log before the 200 is sent,
+// so an acknowledged insert or delete survives a crash.
 //
 // Passing explain=1 to /nwc or /knwc runs the query with per-query
 // structured tracing enabled and attaches the phase-by-phase trace to

@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the backing device of one log segment. It is the injectable
+// I/O seam: production code uses OS files via DirFS, tests substitute
+// MemFS (or fault-injecting wrappers around either) to crash the log at
+// any write or sync step.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate cuts the file to size (recovery uses it to drop a torn
+	// tail so appends resume on a clean frame boundary).
+	Truncate(size int64) error
+	// Sync makes previously written bytes durable.
+	Sync() error
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS is the directory holding the log's segment files.
+type FS interface {
+	// Create creates (or truncates) a segment file.
+	Create(name string) (File, error)
+	// Open opens an existing segment file for read and append.
+	Open(name string) (File, error)
+	// Remove deletes a segment file (checkpoint recycling).
+	Remove(name string) error
+	// List returns the segment file names, sorted ascending.
+	List() ([]string, error)
+}
+
+// DirFS is the OS-backed FS: one directory, one file per segment.
+type DirFS struct {
+	dir string
+}
+
+// NewDirFS creates (if needed) and returns the directory-backed FS.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+// Dir returns the backing directory path.
+func (fs *DirFS) Dir() string { return fs.dir }
+
+// Create implements FS.
+func (fs *DirFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(fs.dir, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (fs *DirFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(fs.dir, name), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements FS.
+func (fs *DirFS) Remove(name string) error {
+	return os.Remove(filepath.Join(fs.dir, name))
+}
+
+// List implements FS, returning only segment files.
+func (fs *DirFS) List() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// osFile adapts *os.File to File (Size via Stat).
+type osFile struct {
+	*os.File
+}
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// MemFS is an in-memory FS for tests and benchmarks. Its files persist
+// across Open/Close cycles (the map owns the bytes), which is exactly
+// what a crash-recovery harness needs: abandon the crashed log, reopen
+// over the same MemFS, and the surviving bytes are what a real disk
+// would hold.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*MemFile
+}
+
+// NewMemFS returns an empty in-memory FS.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*MemFile)} }
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := NewMemFile()
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: open %s: %w", name, os.ErrNotExist)
+	}
+	return f, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("wal: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		if strings.HasSuffix(name, segmentSuffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MemFile is an in-memory File. It also satisfies the pager's File
+// interface, so one MemFile can back a page store in tests that need a
+// shared fault-injection seam across both the log and the page file.
+type MemFile struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewMemFile returns an empty in-memory file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadAt implements io.ReaderAt.
+func (f *MemFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the file as needed.
+func (f *MemFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(f.buf)) {
+		grown := make([]byte, end)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	copy(f.buf[off:], p)
+	return len(p), nil
+}
+
+// Truncate implements File.
+func (f *MemFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.buf)
+	f.buf = grown
+	return nil
+}
+
+// Sync implements File (memory is always "durable").
+func (f *MemFile) Sync() error { return nil }
+
+// Size implements File.
+func (f *MemFile) Size() (int64, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.buf)), nil
+}
+
+// Close implements File; the bytes stay owned by the FS.
+func (f *MemFile) Close() error { return nil }

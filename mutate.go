@@ -10,8 +10,8 @@ import (
 )
 
 // Dynamic maintenance. The paper treats the dataset as static; this
-// file extends the index with Insert and Delete as first-class online
-// operations:
+// file extends the index with Insert and Delete (and their batch forms)
+// as first-class online operations:
 //
 //   - mutations are safe to run concurrently with any number of
 //     queries, including batch and IWP-scheme queries: a query pins one
@@ -23,7 +23,14 @@ import (
 //     copy-on-write batch and the density grid derived by structural
 //     sharing, then both are published together in a single atomic view
 //     swap. A failure at any step leaves the index exactly as it was —
-//     the tree and the grid can never disagree;
+//     the tree and the grid can never disagree. A batch publishes all
+//     of its points in one swap: no query ever sees part of a batch;
+//   - on a WAL-backed paged index (the default for BuildPaged), a
+//     logical record is appended before the commit publishes any page,
+//     and the call returns only once the record is durable per the
+//     index's SyncPolicy (durable.go). The fsync happens after the
+//     writer mutex is released, so committers queued behind it coalesce
+//     into one fsync while the next mutation proceeds;
 //   - the IWP pointer sets are per-view snapshot structures, rebuilt
 //     lazily (single-flight) by the first IWP-scheme query on the new
 //     view; the rebuild's node visits are accounted in IOStats, never
@@ -40,40 +47,81 @@ func (ix *Index) Insert(p Point) error {
 }
 
 func (ix *Index) insert(p Point) error {
-	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
-		return invalid("point", "coordinates (%g, %g) must be finite", p.X, p.Y)
+	if err := validateMutationPoint(p); err != nil {
+		return err
 	}
-	gp := geom.Point{X: p.X, Y: p.Y, ID: p.ID}
-
+	gpts := []geom.Point{{X: p.X, Y: p.Y, ID: p.ID}}
 	ix.wmu.Lock()
-	defer ix.wmu.Unlock()
-	old := ix.cur.Load()
+	lsn, err := ix.insertLocked(gpts)
+	ix.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ix.waitDurable(lsn)
+}
 
-	b, err := old.tree.BeginWrite()
-	if err != nil {
-		return err
+// InsertBatch adds points atomically: all become visible in one
+// published view (and, on a WAL-backed index, one log record and at
+// most one fsync) or none do. An empty batch is a no-op.
+func (ix *Index) InsertBatch(pts []Point) error {
+	start := time.Now()
+	err := ix.insertBatch(pts)
+	ix.obs.observe(kindInsert, SchemeDefault, time.Since(start), 0, err)
+	return err
+}
+
+func (ix *Index) insertBatch(pts []Point) error {
+	if len(pts) == 0 {
+		return nil
 	}
-	if err := b.Tree().Insert(gp); err != nil {
-		b.Discard()
-		return err
-	}
-	den, err := old.grid.WithAdd(gp)
-	if err != nil {
-		// Outside the grid's space: rebuild over a space covering the
-		// new point (with slack so a trickle of outliers does not cause
-		// repeated rebuilds). The rebuild reads the batch's tree, so it
-		// already includes gp.
-		den, err = rebuildGrid(b.Tree(), old.grid, &gp)
-		if err != nil {
-			b.Discard()
+	gpts := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		if err := validateMutationPoint(p); err != nil {
 			return err
 		}
+		gpts[i] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
 	}
-	newTree, retired, err := b.Commit()
+	ix.wmu.Lock()
+	lsn, err := ix.insertLocked(gpts)
+	ix.wmu.Unlock()
 	if err != nil {
 		return err
 	}
-	return ix.publishLocked(newTree, den, retired)
+	return ix.waitDurable(lsn)
+}
+
+func (ix *Index) insertLocked(gpts []geom.Point) (uint64, error) {
+	old := ix.cur.Load()
+	b, err := old.tree.BeginWrite()
+	if err != nil {
+		return 0, err
+	}
+	for i := range gpts {
+		if err := b.Tree().Insert(gpts[i]); err != nil {
+			b.Discard()
+			return 0, err
+		}
+	}
+	den := old.grid
+	for i := range gpts {
+		next, err := den.WithAdd(gpts[i])
+		if err != nil {
+			// Outside the grid's space: rebuild over a space covering the
+			// new point (with slack so a trickle of outliers does not cause
+			// repeated rebuilds). The rebuild reads the batch's tree, which
+			// already holds every point of this batch, so the remaining
+			// WithAdd steps are covered too.
+			next, err = rebuildGrid(b.Tree(), old.grid, &gpts[i])
+			if err != nil {
+				b.Discard()
+				return 0, err
+			}
+			den = next
+			break
+		}
+		den = next
+	}
+	return ix.commitMutationLocked(b, recInsert, gpts, den)
 }
 
 // Delete removes one point (matched by coordinates and ID) and reports
@@ -88,46 +136,143 @@ func (ix *Index) Delete(p Point) (bool, error) {
 }
 
 func (ix *Index) delete(p Point) (bool, error) {
-	gp := geom.Point{X: p.X, Y: p.Y, ID: p.ID}
-
+	gpts := []geom.Point{{X: p.X, Y: p.Y, ID: p.ID}}
 	ix.wmu.Lock()
-	defer ix.wmu.Unlock()
-	old := ix.cur.Load()
+	founds, lsn, err := ix.deleteLocked(gpts)
+	ix.wmu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return founds[0], ix.waitDurable(lsn)
+}
 
+// DeleteBatch removes points atomically (matched by coordinates and
+// ID), returning one found flag per input point. The found deletions
+// become visible in one published view — and one WAL record — or, if
+// anything fails, none do. An empty batch is a no-op.
+func (ix *Index) DeleteBatch(pts []Point) ([]bool, error) {
+	start := time.Now()
+	founds, err := ix.deleteBatch(pts)
+	ix.obs.observe(kindDelete, SchemeDefault, time.Since(start), 0, err)
+	return founds, err
+}
+
+func (ix *Index) deleteBatch(pts []Point) ([]bool, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	gpts := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		gpts[i] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	ix.wmu.Lock()
+	founds, lsn, err := ix.deleteLocked(gpts)
+	ix.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return founds, ix.waitDurable(lsn)
+}
+
+func (ix *Index) deleteLocked(gpts []geom.Point) ([]bool, uint64, error) {
+	old := ix.cur.Load()
 	b, err := old.tree.BeginWrite()
 	if err != nil {
-		return false, err
+		return nil, 0, err
 	}
-	found, err := b.Tree().Delete(gp)
-	if err != nil {
-		b.Discard()
-		return false, err
-	}
-	if !found {
-		b.Discard()
-		return false, nil
-	}
-	den, err := old.grid.WithRemove(gp)
-	if err != nil {
-		// The grid does not count a point the tree held — the two
-		// drifted (e.g. a historic out-of-space insert). Rather than
-		// publish a grid that still counts the deleted point, rebuild it
-		// from the post-delete tree so the pair leaves consistent; a
-		// rebuild failure abandons the whole mutation.
-		den, err = rebuildGrid(b.Tree(), old.grid, nil)
+	founds := make([]bool, len(gpts))
+	removed := make([]geom.Point, 0, len(gpts))
+	for i, gp := range gpts {
+		found, err := b.Tree().Delete(gp)
 		if err != nil {
 			b.Discard()
-			return false, err
+			return nil, 0, err
+		}
+		founds[i] = found
+		if found {
+			removed = append(removed, gp)
+		}
+	}
+	if len(removed) == 0 {
+		b.Discard()
+		return founds, 0, nil
+	}
+	den := old.grid
+	for _, gp := range removed {
+		next, err := den.WithRemove(gp)
+		if err != nil {
+			// The grid does not count a point the tree held — the two
+			// drifted (e.g. a historic out-of-space insert). Rather than
+			// publish a grid that still counts the deleted point, rebuild it
+			// from the post-delete tree so the pair leaves consistent; a
+			// rebuild failure abandons the whole mutation.
+			next, err = rebuildGrid(b.Tree(), old.grid, nil)
+			if err != nil {
+				b.Discard()
+				return nil, 0, err
+			}
+			den = next
+			break
+		}
+		den = next
+	}
+	lsn, err := ix.commitMutationLocked(b, recDelete, removed, den)
+	if err != nil {
+		return nil, 0, err
+	}
+	return founds, lsn, nil
+}
+
+// commitMutationLocked runs the tail every mutation shares: log the
+// record (WAL mode — before any page of the commit is published),
+// commit the copy-on-write batch, publish the new view, and trigger a
+// checkpoint if the log has grown past its threshold. A commit or
+// publish failure after the append is neutralised with an abort record
+// so recovery does not replay a mutation the caller saw fail. Caller
+// holds ix.wmu.
+func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, op byte, pts []geom.Point, den *grid.Density) (uint64, error) {
+	var lsn uint64
+	if ix.dur != nil {
+		var err error
+		if lsn, err = ix.dur.append(op, pts); err != nil {
+			b.Discard()
+			return 0, err
 		}
 	}
 	newTree, retired, err := b.Commit()
 	if err != nil {
-		return false, err
+		if ix.dur != nil {
+			ix.dur.abort(lsn)
+		}
+		return 0, err
 	}
 	if err := ix.publishLocked(newTree, den, retired); err != nil {
-		return false, err
+		if ix.dur != nil {
+			ix.dur.abort(lsn)
+		}
+		return 0, err
 	}
-	return true, nil
+	if ix.dur != nil {
+		ix.dur.maybeCheckpointLocked(ix.cur.Load().tree)
+	}
+	return lsn, nil
+}
+
+// waitDurable blocks until the mutation at lsn is durable under the
+// index's SyncPolicy. Called after wmu is released so waiting
+// committers coalesce on one fsync while the next writer proceeds.
+func (ix *Index) waitDurable(lsn uint64) error {
+	if ix.dur == nil || lsn == 0 {
+		return nil
+	}
+	return ix.dur.waitDurable(lsn)
+}
+
+func validateMutationPoint(p Point) error {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return invalid("point", "coordinates (%g, %g) must be finite", p.X, p.Y)
+	}
+	return nil
 }
 
 // rebuildGrid builds a fresh density grid from t's current points. With

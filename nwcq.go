@@ -297,6 +297,9 @@ type Index struct {
 	// pageStats reports buffer-pool counters for paged indexes (nil for
 	// in-memory indexes); Metrics uses it to expose cache effectiveness.
 	pageStats func() pager.Stats
+	// dur binds the write-ahead log on WAL-backed paged indexes (nil for
+	// in-memory indexes and WithoutWAL); see durable.go.
+	dur *durability
 }
 
 type buildOptions struct {
@@ -313,6 +316,12 @@ type buildOptions struct {
 	nodeCacheSet bool
 	// slowThreshold enables the slow-query log when positive.
 	slowThreshold time.Duration
+	// Write-ahead-log knobs; paged indexes only (see durable.go).
+	walDisabled        bool
+	walSync            SyncPolicy
+	walSyncInterval    time.Duration
+	walSegmentBytes    int64
+	walCheckpointBytes int64
 }
 
 // BuildOption configures Build.
@@ -357,6 +366,50 @@ func WithNodeCacheSize(nodes int) BuildOption {
 		o.nodeCache = nodes
 		o.nodeCacheSet = true
 	}
+}
+
+// WithWALSync selects when a paged index fsyncs a mutation's WAL
+// record: SyncAlways (the default) before the mutation returns,
+// SyncInterval in the background (see WithWALSyncInterval), SyncNever
+// only at rotation, checkpoint and Close. In-memory indexes and
+// WithoutWAL ignore it.
+func WithWALSync(p SyncPolicy) BuildOption {
+	return func(o *buildOptions) { o.walSync = p }
+}
+
+// WithWALSyncInterval selects the SyncInterval policy with the given
+// background flush cadence (default 100ms when d is not positive). A
+// crash loses at most the last interval's acknowledged mutations,
+// never index integrity.
+func WithWALSyncInterval(d time.Duration) BuildOption {
+	return func(o *buildOptions) {
+		o.walSync = SyncInterval
+		o.walSyncInterval = d
+	}
+}
+
+// WithoutWAL disables the write-ahead log on a paged index: mutations
+// become durable only at Sync and Close, and a crash in between loses
+// them (the index file itself stays consistent as of the last sync).
+// Any existing log directory beside the file is ignored, including
+// during OpenPaged — records in it are not replayed.
+func WithoutWAL() BuildOption {
+	return func(o *buildOptions) { o.walDisabled = true }
+}
+
+// WithWALSegmentBytes sets the WAL segment size before rotation
+// (default 1 MiB). Smaller segments recycle sooner after a checkpoint;
+// larger ones rotate less often.
+func WithWALSegmentBytes(n int64) BuildOption {
+	return func(o *buildOptions) { o.walSegmentBytes = n }
+}
+
+// WithWALCheckpointBytes sets how much log accumulates before a
+// mutation triggers a checkpoint that folds the log into the page file
+// (default 1 MiB). Smaller values bound recovery time; larger ones
+// amortise checkpoint fsyncs over more mutations.
+func WithWALCheckpointBytes(n int64) BuildOption {
+	return func(o *buildOptions) { o.walCheckpointBytes = n }
 }
 
 // WithSpace fixes the object space rectangle for the density grid.

@@ -117,8 +117,30 @@ type PageCacheMetrics struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Coalesced uint64 `json:"coalesced"`
+	// Syncs counts fsyncs of the page file — checkpoint cost.
+	Syncs uint64 `json:"syncs"`
 	// HitRate is Hits / (Hits + Misses), zero when no reads happened.
 	HitRate float64 `json:"hit_rate"`
+}
+
+// WALMetrics reports write-ahead-log activity for a WAL-backed paged
+// index: append volume, fsync and segment-lifecycle counts, checkpoint
+// progress and the current LSN horizon.
+type WALMetrics struct {
+	Appends          uint64 `json:"appends"`
+	AppendBytes      uint64 `json:"append_bytes"`
+	Fsyncs           uint64 `json:"fsyncs"`
+	Rotations        uint64 `json:"rotations"`
+	SegmentsRecycled uint64 `json:"segments_recycled"`
+	Checkpoints      uint64 `json:"checkpoints"`
+	// RecordsReplayed is the number of committed records recovered when
+	// the index was opened (zero after a clean shutdown).
+	RecordsReplayed uint64 `json:"records_replayed"`
+	// AppendedLSN and DurableLSN bound the window of acknowledged but
+	// not yet fsynced mutations (equal under SyncAlways at rest).
+	AppendedLSN uint64 `json:"appended_lsn"`
+	DurableLSN  uint64 `json:"durable_lsn"`
+	SyncPolicy  string `json:"sync_policy"`
 }
 
 // MetricsSnapshot is a point-in-time copy of the index's aggregated
@@ -143,6 +165,9 @@ type MetricsSnapshot struct {
 	// PageCache reports buffer-pool counters; nil for in-memory indexes,
 	// which have no page cache.
 	PageCache *PageCacheMetrics `json:"page_cache,omitempty"`
+	// WAL reports write-ahead-log counters; nil for in-memory indexes
+	// and indexes built WithoutWAL.
+	WAL *WALMetrics `json:"wal,omitempty"`
 }
 
 // Metrics returns aggregated latency, error and I/O statistics over
@@ -189,11 +214,25 @@ func (ix *Index) Metrics() MetricsSnapshot {
 			Reads: st.Reads, Writes: st.Writes,
 			Hits: st.CacheHits, Misses: st.CacheMisses,
 			Evictions: st.Evictions, Coalesced: st.Coalesced,
+			Syncs: st.Syncs,
 		}
 		if total := pc.Hits + pc.Misses; total > 0 {
 			pc.HitRate = float64(pc.Hits) / float64(total)
 		}
 		out.PageCache = pc
+	}
+	if d := ix.dur; d != nil {
+		ws := d.log.Stats()
+		out.WAL = &WALMetrics{
+			Appends: ws.Appends, AppendBytes: ws.AppendBytes,
+			Fsyncs: ws.Syncs, Rotations: ws.Rotations,
+			SegmentsRecycled: ws.Recycled,
+			Checkpoints:      d.checkpoints.Load(),
+			RecordsReplayed:  d.replayed,
+			AppendedLSN:      d.log.AppendedLSN(),
+			DurableLSN:       d.log.DurableLSN(),
+			SyncPolicy:       d.policy.String(),
+		}
 	}
 	return out
 }
@@ -255,10 +294,33 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 			{"nwcq_page_cache_misses_total", "Buffer-pool misses.", st.CacheMisses},
 			{"nwcq_page_cache_evictions_total", "Frames evicted for room.", st.Evictions},
 			{"nwcq_page_cache_coalesced_total", "Cold reads coalesced by single-flight.", st.Coalesced},
+			{"nwcq_page_syncs_total", "Fsyncs of the page file (checkpoint cost).", st.Syncs},
 		} {
 			pw.header(c.name, "counter", c.help)
 			pw.value(c.name, nil, float64(c.v))
 		}
+	}
+	if d := ix.dur; d != nil {
+		ws := d.log.Stats()
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"nwcq_wal_appends_total", "Records appended to the write-ahead log.", ws.Appends},
+			{"nwcq_wal_append_bytes_total", "Bytes appended to the write-ahead log.", ws.AppendBytes},
+			{"nwcq_wal_fsyncs_total", "Fsyncs of write-ahead-log segments.", ws.Syncs},
+			{"nwcq_wal_rotations_total", "Write-ahead-log segment rotations.", ws.Rotations},
+			{"nwcq_wal_segments_recycled_total", "Write-ahead-log segments recycled after checkpoints.", ws.Recycled},
+			{"nwcq_wal_checkpoints_total", "Checkpoints folding the log into the page file.", d.checkpoints.Load()},
+			{"nwcq_wal_records_replayed_total", "Records replayed during crash recovery at open.", d.replayed},
+		} {
+			pw.header(c.name, "counter", c.help)
+			pw.value(c.name, nil, float64(c.v))
+		}
+		pw.header("nwcq_wal_appended_lsn", "gauge", "Highest LSN appended to the log.")
+		pw.value("nwcq_wal_appended_lsn", nil, float64(d.log.AppendedLSN()))
+		pw.header("nwcq_wal_durable_lsn", "gauge", "Highest LSN known fsynced to stable storage.")
+		pw.value("nwcq_wal_durable_lsn", nil, float64(d.log.DurableLSN()))
 	}
 	return pw.err
 }

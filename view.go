@@ -183,7 +183,14 @@ func (ix *Index) drainRetiredLocked() {
 		if !h.refs.CompareAndSwap(0, -1) {
 			return
 		}
-		_ = cur.tree.ReleaseNodes(h.retired)
+		if ix.dur != nil {
+			// WAL mode: the durable checkpoint may still reference these
+			// pages. Park them; the next checkpoint releases them once the
+			// header that stops referencing them is on disk (durable.go).
+			ix.dur.pending = append(ix.dur.pending, h.retired...)
+		} else {
+			_ = cur.tree.ReleaseNodes(h.retired)
+		}
 		ix.retireq[0] = nil
 		ix.retireq = ix.retireq[1:]
 	}

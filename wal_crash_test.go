@@ -1,0 +1,395 @@
+package nwcq
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nwcq/internal/wal"
+)
+
+// Crash-point fault injection for the WAL + recovery protocol.
+//
+// The harness builds a paged index over in-memory files whose writes,
+// syncs, truncates and segment create/remove operations share one step
+// countdown. Arming the injector at step k makes the k-th I/O operation
+// fail — tearing a write in half, the way a real crash tears one — and
+// every later operation fail too (the process is dead). The test then
+// reopens the surviving bytes through the normal recovery path and
+// checks the oracle: the recovered point set must equal the state after
+// exactly p acknowledged mutations, where acked ≤ p ≤ attempted (a
+// mutation that failed mid-flight may legitimately be recovered if its
+// record reached the log, and under SyncAlways no acknowledged mutation
+// may ever be lost). Sweeping k from 0 upward places a crash at every
+// reachable point of the append → commit → publish → checkpoint
+// pipeline until one run completes uninjured.
+
+var errCrash = errors.New("injected crash")
+
+// crashInjector is the shared step countdown. Unarmed it is a no-op, so
+// the build phase runs uninjured and only the mutation script is swept.
+type crashInjector struct {
+	mu        sync.Mutex
+	armed     bool
+	remaining int
+	crashed   bool
+}
+
+func (c *crashInjector) arm(k int) {
+	c.mu.Lock()
+	c.armed, c.remaining, c.crashed = true, k, false
+	c.mu.Unlock()
+}
+
+// step consumes one I/O step. failed means the operation must error;
+// torn marks the single operation the crash lands on, whose write may
+// be half-applied before the error.
+func (c *crashInjector) step() (torn, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return false, false
+	}
+	if c.crashed {
+		return false, true
+	}
+	if c.remaining > 0 {
+		c.remaining--
+		return false, false
+	}
+	c.crashed = true
+	return true, true
+}
+
+func (c *crashInjector) didCrash() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// crashFile injects failures into one file's mutating operations. Reads
+// never fail: the interesting states are what survives on "disk", not
+// read errors. With headerAtomic the offset-0 write is all-or-nothing,
+// matching the protocol's documented assumption that the pager's
+// header-page write is atomic; WAL segment writes tear freely, since
+// the frame CRC scan is exactly the mechanism that handles them.
+type crashFile struct {
+	*wal.MemFile
+	inj          *crashInjector
+	headerAtomic bool
+}
+
+func (f *crashFile) WriteAt(p []byte, off int64) (int, error) {
+	torn, failed := f.inj.step()
+	if failed {
+		if torn && !(f.headerAtomic && off == 0) && len(p) > 1 {
+			_, _ = f.MemFile.WriteAt(p[:len(p)/2], off)
+		}
+		return 0, errCrash
+	}
+	return f.MemFile.WriteAt(p, off)
+}
+
+func (f *crashFile) Sync() error {
+	if _, failed := f.inj.step(); failed {
+		return errCrash
+	}
+	return f.MemFile.Sync()
+}
+
+func (f *crashFile) Truncate(size int64) error {
+	if _, failed := f.inj.step(); failed {
+		return errCrash
+	}
+	return f.MemFile.Truncate(size)
+}
+
+// crashFS wraps a MemFS so segment files created through it carry the
+// injector, and segment create/remove count as crashable steps.
+type crashFS struct {
+	fs  *wal.MemFS
+	inj *crashInjector
+}
+
+func (c *crashFS) Create(name string) (wal.File, error) {
+	if _, failed := c.inj.step(); failed {
+		return nil, errCrash
+	}
+	f, err := c.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{MemFile: f.(*wal.MemFile), inj: c.inj}, nil
+}
+
+func (c *crashFS) Open(name string) (wal.File, error) {
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{MemFile: f.(*wal.MemFile), inj: c.inj}, nil
+}
+
+func (c *crashFS) Remove(name string) error {
+	if _, failed := c.inj.step(); failed {
+		return errCrash
+	}
+	return c.fs.Remove(name)
+}
+
+func (c *crashFS) List() ([]string, error) { return c.fs.List() }
+
+// Mutation script: a deterministic mix of the four mutation entry
+// points, with precomputed oracle states.
+type scriptOp int
+
+const (
+	opInsert scriptOp = iota
+	opInsertBatch
+	opDelete
+	opDeleteBatch
+)
+
+type scriptStep struct {
+	op  scriptOp
+	pts []Point
+}
+
+func doStep(px *PagedIndex, s scriptStep) error {
+	switch s.op {
+	case opInsert:
+		return px.Insert(s.pts[0])
+	case opInsertBatch:
+		return px.InsertBatch(s.pts)
+	case opDelete:
+		_, err := px.Delete(s.pts[0])
+		return err
+	default:
+		_, err := px.DeleteBatch(s.pts)
+		return err
+	}
+}
+
+// buildCrashScript derives steps and the oracle: states[i] is the point
+// set after the first i steps all succeeded.
+func buildCrashScript(rng *rand.Rand, base []Point, steps int) ([]scriptStep, []map[Point]bool) {
+	alive := append([]Point(nil), base...)
+	nextID := uint64(100000)
+	newPoint := func() Point {
+		p := Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: nextID}
+		nextID++
+		return p
+	}
+	states := make([]map[Point]bool, 0, steps+1)
+	snapshot := func() map[Point]bool {
+		m := make(map[Point]bool, len(alive))
+		for _, p := range alive {
+			m[p] = true
+		}
+		return m
+	}
+	states = append(states, snapshot())
+	script := make([]scriptStep, 0, steps)
+	for i := 0; i < steps; i++ {
+		var s scriptStep
+		switch rng.Intn(4) {
+		case 0:
+			s = scriptStep{op: opInsert, pts: []Point{newPoint()}}
+			alive = append(alive, s.pts[0])
+		case 1:
+			n := 2 + rng.Intn(5)
+			s = scriptStep{op: opInsertBatch}
+			for j := 0; j < n; j++ {
+				p := newPoint()
+				s.pts = append(s.pts, p)
+				alive = append(alive, p)
+			}
+		case 2:
+			j := rng.Intn(len(alive))
+			s = scriptStep{op: opDelete, pts: []Point{alive[j]}}
+			alive = append(alive[:j], alive[j+1:]...)
+		default:
+			// A batch mixing present and absent points, so replay of the
+			// logged (found-only) subset is exercised.
+			s = scriptStep{op: opDeleteBatch}
+			for j := 0; j < 2 && len(alive) > 0; j++ {
+				k := rng.Intn(len(alive))
+				s.pts = append(s.pts, alive[k])
+				alive = append(alive[:k], alive[k+1:]...)
+			}
+			s.pts = append(s.pts, Point{X: -1, Y: -1, ID: 999999999})
+		}
+		script = append(script, s)
+		states = append(states, snapshot())
+	}
+	return script, states
+}
+
+func crashBasePoints() []Point {
+	pts := make([]Point, 0, 80)
+	for i := 0; i < 80; i++ {
+		// Deterministic scatter over [0,1000)²; coprime strides give
+		// decent spread without a second RNG.
+		pts = append(pts, Point{
+			X:  float64((i * 137) % 1000),
+			Y:  float64((i * 313) % 1000),
+			ID: uint64(i + 1),
+		})
+	}
+	return pts
+}
+
+func recoveredSet(t *testing.T, px *PagedIndex) map[Point]bool {
+	t.Helper()
+	gpts, err := px.cur.Load().tree.All()
+	if err != nil {
+		t.Fatalf("All() on recovered tree: %v", err)
+	}
+	m := make(map[Point]bool, len(gpts))
+	for _, p := range gpts {
+		m[Point{X: p.X, Y: p.Y, ID: p.ID}] = true
+	}
+	return m
+}
+
+func setsEqual(a, b map[Point]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashRecoveryEveryStep is the protocol's correctness proof: it
+// crashes the index at every I/O step of a mixed mutation script and
+// verifies recovery lands on an acknowledged-consistent state each
+// time.
+func TestCrashRecoveryEveryStep(t *testing.T) {
+	base := crashBasePoints()
+	script, states := buildCrashScript(rand.New(rand.NewSource(7)), base, 24)
+	// Small segments and an aggressive checkpoint threshold push
+	// rotation, recycling and mid-script checkpoints into the swept
+	// window, so crashes land inside those protocol phases too.
+	o := buildOptions{
+		maxEntries: 8, gridCellSize: 25,
+		walSegmentBytes: 1 << 10, walCheckpointBytes: 768,
+	}
+
+	const maxSteps = 10000
+	completed := false
+	for k := 0; k < maxSteps && !completed; k++ {
+		inj := &crashInjector{}
+		pf := &crashFile{MemFile: wal.NewMemFile(), inj: inj, headerAtomic: true}
+		mfs := wal.NewMemFS()
+		px, err := buildPagedOn(base, pf, &crashFS{fs: mfs, inj: inj}, o)
+		if err != nil {
+			t.Fatalf("k=%d: build: %v", k, err)
+		}
+		inj.arm(k)
+
+		acked := 0
+		failed := false
+		for _, s := range script {
+			if err := doStep(px, s); err != nil {
+				failed = true
+				break
+			}
+			acked++
+		}
+		// Simulated crash: the injured index is abandoned, never closed.
+		attempted := acked
+		if failed {
+			attempted++
+		}
+		if !failed {
+			if inj.didCrash() {
+				t.Fatalf("k=%d: crash consumed but every mutation acknowledged", k)
+			}
+			completed = true
+		}
+
+		// Recovery over the raw surviving bytes, injection off.
+		rec, err := openPagedOn(pf.MemFile, mfs, o)
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed (acked %d): %v", k, acked, err)
+		}
+		got := recoveredSet(t, rec)
+		matched := -1
+		for p := acked; p <= attempted; p++ {
+			if setsEqual(got, states[p]) {
+				matched = p
+				break
+			}
+		}
+		if matched < 0 {
+			t.Fatalf("k=%d: recovered %d points match no state in [%d, %d]",
+				k, len(got), acked, attempted)
+		}
+		// The recovered index must be fully serviceable.
+		if _, err := rec.NWC(Query{X: 500, Y: 500, Length: 120, Width: 120, N: 3}); err != nil {
+			t.Fatalf("k=%d: query on recovered index: %v", k, err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("k=%d: close recovered index: %v", k, err)
+		}
+		// A clean close checkpoints; a second open needs no replay and
+		// sees the identical state.
+		re, err := openPagedOn(pf.MemFile, mfs, o)
+		if err != nil {
+			t.Fatalf("k=%d: reopen after clean close: %v", k, err)
+		}
+		if re.dur.replayed != 0 {
+			t.Fatalf("k=%d: %d records replayed after a clean close", k, re.dur.replayed)
+		}
+		if !setsEqual(recoveredSet(t, re), states[matched]) {
+			t.Fatalf("k=%d: state changed across clean close/reopen", k)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("k=%d: second close: %v", k, err)
+		}
+	}
+	if !completed {
+		t.Fatalf("script never completed uninjured within %d crash points", maxSteps)
+	}
+}
+
+// TestCrashRecoveryAbandonedWithoutSync covers the coarse case the
+// sweep's tail also hits: every mutation acknowledged, then the process
+// dies with no Close. Under SyncAlways nothing acknowledged may be
+// lost.
+func TestCrashRecoveryAbandonedWithoutSync(t *testing.T) {
+	base := crashBasePoints()
+	script, states := buildCrashScript(rand.New(rand.NewSource(11)), base, 16)
+	o := buildOptions{maxEntries: 8, gridCellSize: 25}
+	pf := wal.NewMemFile()
+	mfs := wal.NewMemFS()
+	px, err := buildPagedOn(base, pf, mfs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range script {
+		if err := doStep(px, s); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	// No Close: recovery must reconstruct everything from the log.
+	rec, err := openPagedOn(pf, mfs, o)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer rec.Close()
+	if !setsEqual(recoveredSet(t, rec), states[len(script)]) {
+		t.Fatal("recovered state does not match the acknowledged final state")
+	}
+	if rec.dur.replayed == 0 {
+		t.Fatal("expected replayed records after an unclean shutdown")
+	}
+	if m := rec.Metrics(); m.WAL == nil || m.WAL.RecordsReplayed == 0 {
+		t.Fatal("Metrics().WAL does not report the replay")
+	}
+}
