@@ -97,10 +97,11 @@ func TestKNWCBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, q := range queries {
-		seq, _, err := idx.KNWC(q)
+		sres, err := idx.KNWC(q)
 		if err != nil {
 			t.Fatal(err)
 		}
+		seq := sres.Groups
 		if len(batch[i].Groups) != len(seq) {
 			t.Fatalf("query %d: batch %d groups, sequential %d", i, len(batch[i].Groups), len(seq))
 		}

@@ -36,18 +36,21 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"nwcq"
 	"nwcq/internal/datagen"
 	"nwcq/internal/server"
+	"nwcq/internal/shard"
 )
 
 func main() {
 	var (
 		data        = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
-		index       = flag.String("index", "", "page file for a disk-backed index: reopened if it exists (replaying its WAL), else built from -data")
+		index       = flag.String("index", "", "page file for a disk-backed index: reopened if it exists (replaying its WAL), else built from -data; with -shards > 1, a directory of per-shard page files")
+		shards      = flag.Int("shards", 1, "spatial shards: 1 serves a single index, > 1 a scatter-gather router over a grid partition")
 		addr        = flag.String("addr", ":8080", "listen address")
 		bulk        = flag.Bool("bulk", true, "bulk-load the index")
 		slowlog     = flag.Duration("slowlog", 0, "slow-query log threshold (0 disables), e.g. 100ms")
@@ -81,13 +84,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	idx, closeIndex, err := openIndex(logger, *data, *index, opts)
+	qr, mu, closeIndex, err := openBackend(logger, *data, *index, *shards, opts)
 	if err != nil {
 		fatal(logger, err)
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", server.New(idx).Handler())
+	mux.Handle("/", server.New(qr, mu).Handler())
 	// Profiling endpoints: CPU/heap/goroutine profiles for go tool pprof.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -135,10 +138,68 @@ func main() {
 	logger.Info("stopped")
 }
 
-// openIndex builds or opens the index per the flags: a paged index when
-// indexPath is set (reopened if the file exists, built from data
-// otherwise), an in-memory index built from data when it is not. The
-// returned func releases whatever was opened.
+// openBackend builds or opens the query/mutation backend per the
+// flags. With shards > 1 it is a scatter-gather router (in-memory from
+// -data, or a directory of per-shard page files when -index is set);
+// otherwise a single index as before: paged when indexPath is set
+// (reopened if the file exists, built from data otherwise), in-memory
+// built from data when it is not. The returned func releases whatever
+// was opened.
+func openBackend(logger *slog.Logger, data, indexPath string, shards int, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
+	if shards > 1 {
+		return openSharded(logger, data, indexPath, shards, opts)
+	}
+	idx, closer, err := openIndex(logger, data, indexPath, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return idx, idx, closer, nil
+}
+
+// openSharded serves -shards > 1: reopen the shard directory if its
+// manifest exists, else build the partition from -data (on disk when
+// indexPath names the directory, in memory otherwise).
+func openSharded(logger *slog.Logger, data, indexPath string, shards int, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
+	started := time.Now()
+	if indexPath != "" {
+		if _, err := os.Stat(filepath.Join(indexPath, "manifest.json")); err == nil {
+			sh, err := shard.OpenSharded(indexPath, shard.Options{Build: opts})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			logger.Info("opened sharded index",
+				"dir", indexPath,
+				"shards", sh.Shards(),
+				"points", sh.Len(),
+				"elapsed", time.Since(started).Round(time.Millisecond))
+			return sh, sh, sh.Close, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, nil, err
+		}
+	}
+	if data == "" {
+		if indexPath != "" {
+			return nil, nil, nil, fmt.Errorf("shard directory %s has no manifest and -data was not given to build it", indexPath)
+		}
+		return nil, nil, nil, errors.New("-data is required (or -index pointing at an existing shard directory)")
+	}
+	pts, err := loadPoints(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sh, err := shard.NewSharded(pts, shard.Options{Shards: shards, Dir: indexPath, Build: opts})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	logger.Info("built sharded index",
+		"dir", indexPath,
+		"shards", sh.Shards(),
+		"points", sh.Len(),
+		"elapsed", time.Since(started).Round(time.Millisecond))
+	return sh, sh, sh.Close, nil
+}
+
+// openIndex is the single-index (shards = 1) path of openBackend.
 func openIndex(logger *slog.Logger, data, indexPath string, opts []nwcq.BuildOption) (*nwcq.Index, func() error, error) {
 	started := time.Now()
 	if indexPath != "" {

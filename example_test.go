@@ -42,7 +42,7 @@ func ExampleIndex_KNWC() {
 	if err != nil {
 		panic(err)
 	}
-	groups, _, err := idx.KNWC(nwcq.KQuery{
+	res, err := idx.KNWC(nwcq.KQuery{
 		Query: nwcq.Query{X: 500, Y: 500, Length: 100, Width: 100, N: 4},
 		K:     3,
 		M:     0, // groups must be fully disjoint
@@ -50,6 +50,7 @@ func ExampleIndex_KNWC() {
 	if err != nil {
 		panic(err)
 	}
+	groups := res.Groups
 	fmt.Println(len(groups))
 	for i := 1; i < len(groups); i++ {
 		if groups[i].Dist < groups[i-1].Dist {

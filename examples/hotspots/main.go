@@ -43,15 +43,15 @@ func main() {
 	// m lets nearby overlapping windows count as separate districts.
 	fmt.Println("k = 4 districts of 10 shops, varying the overlap budget m:")
 	for _, m := range []int{0, 3, 8} {
-		groups, _, err := idx.KNWC(nwcq.KQuery{Query: base, K: 4, M: m})
+		res, err := idx.KNWC(nwcq.KQuery{Query: base, K: 4, M: m})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  m=%d:", m)
-		for _, g := range groups {
+		for _, g := range res.Groups {
 			fmt.Printf("  %.0fm", g.Dist)
 		}
-		fmt.Printf("   (%d districts)\n", len(groups))
+		fmt.Printf("   (%d districts)\n", len(res.Groups))
 	}
 
 	// Scheme comparison on the same query (cf. Figures 13–14: kNWC*

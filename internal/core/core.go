@@ -159,8 +159,8 @@ type Group struct {
 	Window geom.Rect
 }
 
-// overlapCount returns |g ∩ o| by object identity (coordinates and ID).
-func (g Group) overlapCount(o Group) int {
+// OverlapCount returns |g ∩ o| by object identity (coordinates and ID).
+func (g Group) OverlapCount(o Group) int {
 	if len(g.Objects) > 32 {
 		set := make(map[geom.Point]struct{}, len(g.Objects))
 		for _, p := range g.Objects {

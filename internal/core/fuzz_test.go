@@ -111,7 +111,7 @@ func FuzzKNWCDefinition(f *testing.F) {
 				t.Fatal("groups out of order")
 			}
 			for j := i + 1; j < len(groups); j++ {
-				if g.overlapCount(groups[j]) > qy.M {
+				if g.OverlapCount(groups[j]) > qy.M {
 					t.Fatal("overlap constraint violated")
 				}
 			}

@@ -37,7 +37,7 @@ func checkDefinition3(t *testing.T, pts []geom.Point, qy KNWCQuery, measure Meas
 	// Criterion 2: pairwise overlap within m (identical sets banned).
 	for i := range groups {
 		for j := i + 1; j < len(groups); j++ {
-			ov := groups[i].overlapCount(groups[j])
+			ov := groups[i].OverlapCount(groups[j])
 			if ov > qy.M {
 				t.Fatalf("%s: groups %d,%d share %d objects > m=%d", label, i, j, ov, qy.M)
 			}
@@ -71,7 +71,7 @@ func checkDefinition3(t *testing.T, pts []geom.Point, qy KNWCQuery, measure Meas
 		blocked := false
 		for _, g := range groups {
 			if g.Dist <= cand.Dist+eps {
-				ov := g.overlapCount(cand)
+				ov := g.OverlapCount(cand)
 				if ov > qy.M || ov == qy.N {
 					blocked = true
 					break

@@ -182,7 +182,7 @@ func TestQuickKNWCStructure(t *testing.T) {
 				return false
 			}
 			for j := i + 1; j < len(groups); j++ {
-				if g.overlapCount(groups[j]) > qy.M {
+				if g.OverlapCount(groups[j]) > qy.M {
 					return false
 				}
 			}

@@ -69,7 +69,8 @@ func newEndpointStats() *endpointStats {
 // index views, mutations serialise inside the index, and all request
 // accounting is atomic.
 type Server struct {
-	idx *nwcq.Index
+	idx nwcq.Querier
+	mut nwcq.Mutator
 
 	served metrics.Counter
 	failed metrics.Counter
@@ -77,9 +78,15 @@ type Server struct {
 	endpoints map[string]*endpointStats
 }
 
-// New wraps an index.
-func New(idx *nwcq.Index) *Server {
-	s := &Server{idx: idx, endpoints: make(map[string]*endpointStats)}
+// New wraps a query backend and an optional mutation backend. Any
+// nwcq.Querier works: a single *nwcq.Index (in-memory or paged) or a
+// shard.Sharded router — the handlers are backend-agnostic. A nil
+// Mutator makes the deployment read-only: POST /insert and /delete
+// answer 501. Backends that also implement nwcq.Introspector and
+// nwcq.SlowLogger unlock /stats and /debug/slowlog; others get 501
+// there too.
+func New(q nwcq.Querier, m nwcq.Mutator) *Server {
+	s := &Server{idx: q, mut: m, endpoints: make(map[string]*endpointStats)}
 	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog"} {
 		s.endpoints[name] = newEndpointStats()
 	}
@@ -430,26 +437,43 @@ func decodePoint(r *http.Request) (nwcq.Point, error) {
 	return nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}, nil
 }
 
+// points reports the live point count when the backend can introspect
+// it, -1 otherwise (keeps the mutation responses' shape stable).
+func (s *Server) points() int {
+	if in, ok := s.idx.(nwcq.Introspector); ok {
+		return in.Len()
+	}
+	return -1
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.mut == nil {
+		s.fail(w, http.StatusNotImplemented, errReadOnly)
+		return
+	}
 	p, err := decodePoint(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.idx.Insert(p); err != nil {
+	if err := s.mut.Insert(p); err != nil {
 		s.fail(w, statusFor(err), err)
 		return
 	}
-	s.ok(w, map[string]any{"inserted": true, "points": s.idx.Len()})
+	s.ok(w, map[string]any{"inserted": true, "points": s.points()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.mut == nil {
+		s.fail(w, http.StatusNotImplemented, errReadOnly)
+		return
+	}
 	p, err := decodePoint(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	found, err := s.idx.Delete(p)
+	found, err := s.mut.Delete(p)
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
@@ -458,15 +482,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("point (%g, %g, %d) not indexed", p.X, p.Y, p.ID))
 		return
 	}
-	s.ok(w, map[string]any{"deleted": true, "points": s.idx.Len()})
+	s.ok(w, map[string]any{"deleted": true, "points": s.points()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	gridB, iwpB := s.idx.StorageOverheadBytes()
+	in, ok := s.idx.(nwcq.Introspector)
+	if !ok {
+		s.fail(w, http.StatusNotImplemented, fmt.Errorf("backend does not expose index stats"))
+		return
+	}
+	gridB, iwpB := in.StorageOverheadBytes()
 	s.ok(w, map[string]any{
-		"points":          s.idx.Len(),
-		"tree_height":     s.idx.TreeHeight(),
-		"node_visits":     s.idx.IOStats(),
+		"points":          in.Len(),
+		"tree_height":     in.TreeHeight(),
+		"node_visits":     in.IOStats(),
 		"grid_bytes":      gridB,
 		"iwp_bytes":       iwpB,
 		"requests_served": s.served.Value(),
@@ -545,8 +574,17 @@ func (s *Server) handleMetricsPrometheus(w http.ResponseWriter) {
 // handleSlowlog serves the retained slow-query log entries, newest
 // first, plus the configured threshold.
 func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	sl, ok := s.idx.(nwcq.SlowLogger)
+	if !ok {
+		s.fail(w, http.StatusNotImplemented, fmt.Errorf("backend does not keep a slow-query log"))
+		return
+	}
 	s.ok(w, map[string]any{
-		"threshold_ns": s.idx.SlowQueryThreshold(),
-		"entries":      s.idx.SlowQueries(),
+		"threshold_ns": sl.SlowQueryThreshold(),
+		"entries":      sl.SlowQueries(),
 	})
 }
+
+// errReadOnly is returned by the mutation endpoints when the server was
+// built without a Mutator.
+var errReadOnly = errors.New("server is read-only: no mutation backend configured")

@@ -25,7 +25,7 @@ func TestPagedIndexMutations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(&px.Index).Handler())
+	ts := httptest.NewServer(New(&px.Index, px).Handler())
 
 	var ins struct {
 		Inserted bool `json:"inserted"`

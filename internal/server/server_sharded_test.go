@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nwcq"
+	"nwcq/internal/shard"
+)
+
+// TestShardedBackend serves a scatter-gather router through the same
+// handlers as a single index: the Querier/Mutator seam is the only
+// coupling, so every endpoint must work unchanged.
+func TestShardedBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]nwcq.Point, 400)
+	for i := range pts {
+		pts[i] = nwcq.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: uint64(i + 1)}
+	}
+	sh, err := shard.NewSharded(pts, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sh.Close() })
+	ts := httptest.NewServer(New(sh, sh).Handler())
+	t.Cleanup(ts.Close)
+
+	var nres struct {
+		Found bool    `json:"found"`
+		Dist  float64 `json:"dist"`
+	}
+	if code := getJSON(t, ts.URL+"/nwc?x=500&y=500&l=80&w=80&n=4", &nres); code != http.StatusOK {
+		t.Fatalf("nwc status %d", code)
+	}
+	if !nres.Found {
+		t.Fatal("nwc found nothing")
+	}
+
+	var stats struct {
+		Points     int `json:"points"`
+		TreeHeight int `json:"tree_height"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Points != 400 {
+		t.Fatalf("stats points=%d, want 400", stats.Points)
+	}
+
+	var ins struct {
+		Inserted bool `json:"inserted"`
+		Points   int  `json:"points"`
+	}
+	if code := postJSON(t, ts.URL+"/insert", `{"x": 500.5, "y": 500.5, "id": 9001}`, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	if !ins.Inserted || ins.Points != 401 {
+		t.Fatalf("insert response %+v", ins)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"nwcq_shards 4", "nwcq_queries_total", "nwcq_http_requests_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	var metrics struct {
+		Index struct {
+			Router *struct {
+				Shards int `json:"shards"`
+			} `json:"router"`
+		} `json:"index"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if metrics.Index.Router == nil || metrics.Index.Router.Shards != 4 {
+		t.Fatalf("router section = %+v", metrics.Index.Router)
+	}
+}
+
+// TestReadOnlyServer checks a nil Mutator turns the mutation endpoints
+// into 501s while queries keep working.
+func TestReadOnlyServer(t *testing.T) {
+	idx, err := nwcq.Build([]nwcq.Point{{X: 1, Y: 1, ID: 1}, {X: 2, Y: 2, ID: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, nil).Handler())
+	t.Cleanup(ts.Close)
+
+	var nres struct {
+		Found bool `json:"found"`
+	}
+	if code := getJSON(t, ts.URL+"/nwc?x=1&y=1&l=4&w=4&n=2", &nres); code != http.StatusOK {
+		t.Fatalf("nwc status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/insert", "application/json",
+		strings.NewReader(`{"x": 3, "y": 3, "id": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("insert on read-only server: status %d, want 501", resp.StatusCode)
+	}
+}

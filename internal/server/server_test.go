@@ -29,7 +29,7 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(idx)
+	s := New(idx, idx)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -326,7 +326,7 @@ func TestExplainParam(t *testing.T) {
 
 func TestSlowlogEndpoint(t *testing.T) {
 	s, ts := testServer(t)
-	s.idx.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+	s.idx.(nwcq.SlowLogger).SetSlowQueryThreshold(time.Nanosecond) // everything is slow
 	var tmp nwcResponse
 	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
 	getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=3&k=2", &struct{}{})

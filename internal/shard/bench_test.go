@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nwcq"
+)
+
+// BenchmarkShardedScatterGather measures routed NWC latency across
+// shard counts under two query mixes: hot-spot (all queries land in one
+// shard's dense cluster, where MINDIST pruning should skip most
+// siblings) and uniform (queries spread over the whole space, paying
+// the scatter and border-fetch overhead). shardspruned/op reports how
+// many shards the MINDIST bound skipped per query — the routing win the
+// paper's node-level pruning predicts at shard granularity.
+func BenchmarkShardedScatterGather(b *testing.B) {
+	const nPoints = 20_000
+	rng := rand.New(rand.NewSource(101))
+	pts := make([]nwcq.Point, nPoints)
+	for i := range pts {
+		// Clustered dataset: 70% in a dense corner hot-spot, the rest
+		// uniform, so pruning has something to skip.
+		var x, y float64
+		if i%10 < 7 {
+			x, y = rng.Float64()*150, rng.Float64()*150
+		} else {
+			x, y = rng.Float64()*1000, rng.Float64()*1000
+		}
+		pts[i] = nwcq.Point{X: x, Y: y, ID: uint64(i + 1)}
+	}
+	spaceRect := nwcq.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+
+	mixes := []struct {
+		name string
+		next func(rng *rand.Rand) (x, y float64)
+	}{
+		{"hotspot", func(rng *rand.Rand) (float64, float64) {
+			return rng.Float64() * 140, rng.Float64() * 140
+		}},
+		{"uniform", func(rng *rand.Rand) (float64, float64) {
+			return rng.Float64() * 1000, rng.Float64() * 1000
+		}},
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		sh, err := NewSharded(pts, Options{Shards: shards, Space: spaceRect, Build: []nwcq.BuildOption{nwcq.WithBulkLoad()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mix := range mixes {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, mix.name), func(b *testing.B) {
+				qrng := rand.New(rand.NewSource(7))
+				before := sh.RouterStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x, y := mix.next(qrng)
+					if _, err := sh.NWC(nwcq.Query{X: x, Y: y, Length: 20, Width: 20, N: 6}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				after := sh.RouterStats()
+				b.ReportMetric(float64(after.ShardsPruned-before.ShardsPruned)/float64(b.N), "shardspruned/op")
+				b.ReportMetric(float64(after.BorderFetches-before.BorderFetches)/float64(b.N), "borderfetches/op")
+			})
+		}
+		sh.Close()
+	}
+}

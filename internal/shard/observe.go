@@ -1,0 +1,338 @@
+package shard
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"nwcq"
+	"nwcq/internal/metrics"
+)
+
+// Router-level observability. Latency and error aggregates are recorded
+// once per routed query at the router (so a query fanned out to three
+// shards still counts once), while storage-level state — page caches,
+// WALs, IWP rebuilds, node visits — is summed across the shards'
+// snapshots. Metrics() folds both into one nwcq.MetricsSnapshot, and
+// WritePrometheus renders the same families a single index exposes plus
+// the nwcq_shard_* routing extras.
+
+type rKind int
+
+const (
+	rNWC rKind = iota
+	rKNWC
+	rNearest
+	rWindow
+	rInsert
+	rDelete
+	rKindCount
+)
+
+var rKindNames = [rKindCount]string{"nwc", "knwc", "nearest", "window", "insert", "delete"}
+
+// routerMetrics mirrors the single-index queryMetrics shape, plus the
+// routing counters. All atomics; no lock touches the query path.
+type routerMetrics struct {
+	queries  [rKindCount]metrics.Counter
+	errors   [rKindCount]metrics.Counter
+	latency  [rKindCount]*metrics.Histogram // seconds
+	visits   [rKindCount]*metrics.Histogram // summed node visits per routed query
+	byScheme [16]metrics.Counter
+
+	// Routing activity: local scatter queries issued, shards skipped by
+	// the MINDIST bound, border fetches run, border points collected,
+	// and kNWC certification reruns (fetch-bound doublings).
+	shardQueries  metrics.Counter
+	shardsPruned  metrics.Counter
+	borderFetches metrics.Counter
+	borderPoints  metrics.Counter
+	fetchReruns   metrics.Counter
+}
+
+func newRouterMetrics() *routerMetrics {
+	m := &routerMetrics{}
+	for k := range m.latency {
+		m.latency[k] = metrics.MustHistogram(metrics.ExponentialBounds(1e-6, 2, 24))
+		m.visits[k] = metrics.MustHistogram(metrics.ExponentialBounds(1, 2, 24))
+	}
+	return m
+}
+
+func schemeBits(s nwcq.Scheme) int {
+	srr, dip, dep, iwp := s.Flags()
+	i := 0
+	if srr {
+		i |= 1
+	}
+	if dip {
+		i |= 2
+	}
+	if dep {
+		i |= 4
+	}
+	if iwp {
+		i |= 8
+	}
+	return i
+}
+
+func (m *routerMetrics) observe(kind rKind, scheme nwcq.Scheme, elapsed time.Duration, visits uint64, err error) {
+	m.queries[kind].Inc()
+	if err != nil {
+		m.errors[kind].Inc()
+	}
+	m.latency[kind].Observe(elapsed.Seconds())
+	if kind == rNWC || kind == rKNWC {
+		m.visits[kind].Observe(float64(visits))
+		m.byScheme[schemeBits(scheme)].Inc()
+	}
+}
+
+// RouterStats is a point-in-time copy of the routing counters.
+type RouterStats struct {
+	// ShardQueries counts local NWC/kNWC queries issued to shards by the
+	// scatter phase; ShardsPruned counts shards the MINDIST bound let the
+	// router skip entirely.
+	ShardQueries uint64
+	ShardsPruned uint64
+	// BorderFetches counts border-fetch passes (windows straddling shard
+	// boundaries), BorderPoints the candidate points they collected.
+	BorderFetches uint64
+	BorderPoints  uint64
+	// FetchReruns counts kNWC certification retries: fetch-bound
+	// doublings needed before the merged answer was provably exact.
+	FetchReruns uint64
+}
+
+// RouterStats returns the scatter-gather routing counters.
+func (s *Sharded) RouterStats() RouterStats {
+	return RouterStats{
+		ShardQueries:  s.obs.shardQueries.Value(),
+		ShardsPruned:  s.obs.shardsPruned.Value(),
+		BorderFetches: s.obs.borderFetches.Value(),
+		BorderPoints:  s.obs.borderPoints.Value(),
+		FetchReruns:   s.obs.fetchReruns.Value(),
+	}
+}
+
+// Metrics returns one aggregated snapshot for the whole sharded
+// backend: router-level query aggregates (each routed query counted
+// once, with its summed node visits), plus the shards' storage state
+// (page caches, WALs, IWP rebuilds) summed, plus the routing counters.
+func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
+	m := s.obs
+	now := time.Now()
+	out := nwcq.MetricsSnapshot{
+		CollectedAt:          now,
+		UptimeSeconds:        now.Sub(s.created).Seconds(),
+		Queries:              make(map[string]nwcq.QueryKindMetrics, int(rKindCount)),
+		SchemeCounts:         make(map[string]uint64),
+		CumulativeNodeVisits: s.IOStats(),
+	}
+	for k := rKind(0); k < rKindCount; k++ {
+		lat := m.latency[k].Snapshot()
+		vis := m.visits[k].Snapshot()
+		km := nwcq.QueryKindMetrics{
+			Count:         m.queries[k].Value(),
+			Errors:        m.errors[k].Value(),
+			LatencyMeanMs: lat.Mean() * 1e3,
+			LatencyP50Ms:  lat.Quantile(0.50) * 1e3,
+			LatencyP95Ms:  lat.Quantile(0.95) * 1e3,
+			LatencyP99Ms:  lat.Quantile(0.99) * 1e3,
+		}
+		if k == rNWC || k == rKNWC {
+			km.NodeVisitsMean = vis.Mean()
+			km.NodeVisitsP50 = vis.Quantile(0.50)
+			km.NodeVisitsP95 = vis.Quantile(0.95)
+			km.NodeVisitsP99 = vis.Quantile(0.99)
+		}
+		out.Queries[rKindNames[k]] = km
+	}
+	for i := range m.byScheme {
+		if n := m.byScheme[i].Value(); n > 0 {
+			out.SchemeCounts[nwcq.NewScheme(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0).String()] += n
+		}
+	}
+	var pc *nwcq.PageCacheMetrics
+	var wal *nwcq.WALMetrics
+	for _, ix := range s.shards {
+		snap := ix.Metrics()
+		out.IWPRebuilds += snap.IWPRebuilds
+		if p := snap.PageCache; p != nil {
+			if pc == nil {
+				pc = &nwcq.PageCacheMetrics{}
+			}
+			pc.Reads += p.Reads
+			pc.Writes += p.Writes
+			pc.Hits += p.Hits
+			pc.Misses += p.Misses
+			pc.Evictions += p.Evictions
+			pc.Coalesced += p.Coalesced
+			pc.Syncs += p.Syncs
+		}
+		if w := snap.WAL; w != nil {
+			if wal == nil {
+				wal = &nwcq.WALMetrics{SyncPolicy: w.SyncPolicy}
+			}
+			wal.Appends += w.Appends
+			wal.AppendBytes += w.AppendBytes
+			wal.Fsyncs += w.Fsyncs
+			wal.Rotations += w.Rotations
+			wal.SegmentsRecycled += w.SegmentsRecycled
+			wal.Checkpoints += w.Checkpoints
+			wal.RecordsReplayed += w.RecordsReplayed
+			// Per-shard LSN streams are independent; report the largest so
+			// the gauge still moves with write activity.
+			if w.AppendedLSN > wal.AppendedLSN {
+				wal.AppendedLSN = w.AppendedLSN
+			}
+			if w.DurableLSN > wal.DurableLSN {
+				wal.DurableLSN = w.DurableLSN
+			}
+		}
+	}
+	if pc != nil {
+		if total := pc.Hits + pc.Misses; total > 0 {
+			pc.HitRate = float64(pc.Hits) / float64(total)
+		}
+		out.PageCache = pc
+	}
+	out.WAL = wal
+	rs := s.RouterStats()
+	out.Router = &nwcq.RouterMetrics{
+		Shards:        len(s.shards),
+		ShardQueries:  rs.ShardQueries,
+		ShardsPruned:  rs.ShardsPruned,
+		BorderFetches: rs.BorderFetches,
+		BorderPoints:  rs.BorderPoints,
+		FetchReruns:   rs.FetchReruns,
+	}
+	return out
+}
+
+// WritePrometheus renders the sharded backend's metrics in the
+// Prometheus text format: the same families a single index exposes
+// (from the router-level aggregates and the summed shard storage
+// counters) plus nwcq_shard_* routing families.
+func (s *Sharded) WritePrometheus(w io.Writer) error {
+	m := s.obs
+	pw := &metrics.PromWriter{W: w}
+	pw.Header("nwcq_queries_total", "counter", "Queries served, by operation kind.")
+	for k := rKind(0); k < rKindCount; k++ {
+		pw.Value("nwcq_queries_total", metrics.Labels{"kind", rKindNames[k]}, float64(m.queries[k].Value()))
+	}
+	pw.Header("nwcq_query_errors_total", "counter", "Failed queries, by operation kind.")
+	for k := rKind(0); k < rKindCount; k++ {
+		pw.Value("nwcq_query_errors_total", metrics.Labels{"kind", rKindNames[k]}, float64(m.errors[k].Value()))
+	}
+	pw.Header("nwcq_query_latency_seconds", "histogram", "Query latency, by operation kind.")
+	for k := rKind(0); k < rKindCount; k++ {
+		pw.Histogram("nwcq_query_latency_seconds", metrics.Labels{"kind", rKindNames[k]}, m.latency[k].Snapshot())
+	}
+	pw.Header("nwcq_query_node_visits", "histogram", "Per-query node visits summed across shards (nwc and knwc only).")
+	for _, k := range []rKind{rNWC, rKNWC} {
+		pw.Histogram("nwcq_query_node_visits", metrics.Labels{"kind", rKindNames[k]}, m.visits[k].Snapshot())
+	}
+	pw.Header("nwcq_scheme_queries_total", "counter", "NWC/kNWC queries, by resolved optimisation scheme.")
+	schemes := make(map[string]uint64)
+	for i := range m.byScheme {
+		if n := m.byScheme[i].Value(); n > 0 {
+			schemes[nwcq.NewScheme(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0).String()] += n
+		}
+	}
+	for _, name := range metrics.SortedKeys(schemes) {
+		pw.Value("nwcq_scheme_queries_total", metrics.Labels{"scheme", name}, float64(schemes[name]))
+	}
+	pw.Header("nwcq_node_visits_total", "counter", "Cumulative node visits summed over all shards.")
+	pw.Value("nwcq_node_visits_total", nil, float64(s.IOStats()))
+	pw.Header("nwcq_index_points", "gauge", "Points currently indexed, summed over all shards.")
+	pw.Value("nwcq_index_points", nil, float64(s.Len()))
+	pw.Header("nwcq_uptime_seconds", "gauge", "Seconds since the sharded frontend was built or opened.")
+	pw.Value("nwcq_uptime_seconds", nil, time.Since(s.created).Seconds())
+
+	pw.Header("nwcq_shards", "gauge", "Number of index shards behind the router.")
+	pw.Value("nwcq_shards", nil, float64(len(s.shards)))
+	pw.Header("nwcq_shard_points", "gauge", "Points indexed per shard.")
+	for i, ix := range s.shards {
+		pw.Value("nwcq_shard_points", metrics.Labels{"shard", strconv.Itoa(i)}, float64(ix.Len()))
+	}
+	rs := s.RouterStats()
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"nwcq_shard_queries_total", "Local scatter queries issued to shards.", rs.ShardQueries},
+		{"nwcq_shards_pruned_total", "Shards skipped by the MINDIST bound.", rs.ShardsPruned},
+		{"nwcq_border_fetches_total", "Border-fetch passes for boundary-straddling windows.", rs.BorderFetches},
+		{"nwcq_border_points_total", "Candidate points collected by border fetches.", rs.BorderPoints},
+		{"nwcq_fetch_reruns_total", "kNWC certification reruns (fetch-bound doublings).", rs.FetchReruns},
+	} {
+		pw.Header(c.name, "counter", c.help)
+		pw.Value(c.name, nil, float64(c.v))
+	}
+
+	// Summed storage families, same names as the single-index export so
+	// dashboards keep working when a deployment switches backends.
+	snap := s.Metrics()
+	if pc := snap.PageCache; pc != nil {
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"nwcq_page_cache_reads_total", "Physical page reads, summed over shards.", pc.Reads},
+			{"nwcq_page_cache_writes_total", "Physical page writes, summed over shards.", pc.Writes},
+			{"nwcq_page_cache_hits_total", "Buffer-pool hits, summed over shards.", pc.Hits},
+			{"nwcq_page_cache_misses_total", "Buffer-pool misses, summed over shards.", pc.Misses},
+			{"nwcq_page_cache_evictions_total", "Frames evicted for room, summed over shards.", pc.Evictions},
+			{"nwcq_page_cache_coalesced_total", "Cold reads coalesced by single-flight, summed over shards.", pc.Coalesced},
+			{"nwcq_page_syncs_total", "Fsyncs of the page files, summed over shards.", pc.Syncs},
+		} {
+			pw.Header(c.name, "counter", c.help)
+			pw.Value(c.name, nil, float64(c.v))
+		}
+	}
+	if ws := snap.WAL; ws != nil {
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"nwcq_wal_appends_total", "WAL records appended, summed over shards.", ws.Appends},
+			{"nwcq_wal_append_bytes_total", "WAL bytes appended, summed over shards.", ws.AppendBytes},
+			{"nwcq_wal_fsyncs_total", "WAL segment fsyncs, summed over shards.", ws.Fsyncs},
+			{"nwcq_wal_rotations_total", "WAL segment rotations, summed over shards.", ws.Rotations},
+			{"nwcq_wal_segments_recycled_total", "WAL segments recycled, summed over shards.", ws.SegmentsRecycled},
+			{"nwcq_wal_checkpoints_total", "Checkpoints, summed over shards.", ws.Checkpoints},
+			{"nwcq_wal_records_replayed_total", "Records replayed during crash recovery, summed over shards.", ws.RecordsReplayed},
+		} {
+			pw.Header(c.name, "counter", c.help)
+			pw.Value(c.name, nil, float64(c.v))
+		}
+	}
+	return pw.Err
+}
+
+// SlowQueryThreshold returns the shared slow-query threshold (every
+// shard carries the same one; shard 0 is the source of truth).
+func (s *Sharded) SlowQueryThreshold() time.Duration {
+	return s.shards[0].SlowQueryThreshold()
+}
+
+// SetSlowQueryThreshold adjusts the slow-query threshold on every
+// shard at runtime.
+func (s *Sharded) SetSlowQueryThreshold(threshold time.Duration) {
+	for _, ix := range s.shards {
+		ix.SetSlowQueryThreshold(threshold)
+	}
+}
+
+// SlowQueries merges the shards' slow-query logs, newest first.
+func (s *Sharded) SlowQueries() []nwcq.SlowQueryEntry {
+	var out []nwcq.SlowQueryEntry
+	for _, ix := range s.shards {
+		out = append(out, ix.SlowQueries()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartedAt.After(out[j].StartedAt) })
+	return out
+}

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"nwcq"
+)
+
+// TestShardedMetrics checks the aggregated snapshot: router-level query
+// counts, per-shard storage state summed, and the Router section.
+func TestShardedMetrics(t *testing.T) {
+	_, sh := buildBoth(t, straddlePoints(rand.New(rand.NewSource(13)), 50), 4)
+
+	q := nwcq.Query{X: 50, Y: 50, Length: 6, Width: 6, N: 3}
+	for i := 0; i < 5; i++ {
+		if _, err := sh.NWC(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sh.KNWC(nwcq.KQuery{Query: q, K: 2, M: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.NWC(nwcq.Query{X: 1, Y: 1, Length: -1, Width: 1, N: 1}); err == nil {
+		t.Fatal("expected validation error")
+	}
+
+	snap := sh.Metrics()
+	if got := snap.Queries["nwc"].Count; got != 6 {
+		t.Fatalf("nwc count=%d, want 6 (5 ok + 1 error)", got)
+	}
+	if got := snap.Queries["nwc"].Errors; got != 1 {
+		t.Fatalf("nwc errors=%d, want 1", got)
+	}
+	if got := snap.Queries["knwc"].Count; got != 1 {
+		t.Fatalf("knwc count=%d, want 1", got)
+	}
+	if snap.Router == nil {
+		t.Fatal("Router section missing")
+	}
+	if snap.Router.Shards != 4 {
+		t.Fatalf("Router.Shards=%d, want 4", snap.Router.Shards)
+	}
+	if snap.Router.ShardQueries == 0 {
+		t.Fatal("Router.ShardQueries=0")
+	}
+	rs := sh.RouterStats()
+	if rs.ShardQueries != snap.Router.ShardQueries {
+		t.Fatalf("RouterStats/Metrics disagree: %d vs %d", rs.ShardQueries, snap.Router.ShardQueries)
+	}
+}
+
+// TestShardedPrometheus checks the text exposition carries both the
+// single-index-compatible families and the router-specific ones.
+func TestShardedPrometheus(t *testing.T) {
+	_, sh := buildBoth(t, straddlePoints(rand.New(rand.NewSource(17)), 40), 4)
+	if _, err := sh.NWC(nwcq.Query{X: 50, Y: 50, Length: 6, Width: 6, N: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := sh.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"nwcq_queries_total{kind=\"nwc\"}",
+		"nwcq_query_latency_seconds_bucket",
+		"nwcq_index_points",
+		"nwcq_shards 4",
+		"nwcq_shard_points{shard=\"0\"}",
+		"nwcq_shard_queries_total",
+		"nwcq_shards_pruned_total",
+		"nwcq_border_fetches_total",
+		"nwcq_fetch_reruns_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestShardedExplain checks trace merging: shard-prefixed phases,
+// summed counters, and the synthetic border-fetch phase.
+func TestShardedExplain(t *testing.T) {
+	_, sh := buildBoth(t, straddlePoints(rand.New(rand.NewSource(29)), 50), 4)
+
+	q := nwcq.Query{X: 50, Y: 50, Length: 6, Width: 6, N: 3}
+	res, tr, err := sh.ExplainNWC(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("expected a group")
+	}
+	if tr == nil || len(tr.Phases) == 0 {
+		t.Fatal("empty trace")
+	}
+	sawShard, sawBorder := false, false
+	for _, p := range tr.Phases {
+		if strings.HasPrefix(p.Phase, "shard") {
+			sawShard = true
+		}
+		if p.Phase == "border-fetch" {
+			sawBorder = true
+		}
+	}
+	if !sawShard {
+		t.Fatal("no shard-prefixed phase in merged trace")
+	}
+	if !sawBorder {
+		t.Fatal("no border-fetch phase for a straddling query")
+	}
+	if tr.Render() == "" {
+		t.Fatal("trace failed to render")
+	}
+
+	kres, ktr, err := sh.ExplainKNWC(context.Background(), nwcq.KQuery{Query: q, K: 2, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kres.Found || ktr == nil || len(ktr.Phases) == 0 {
+		t.Fatal("kNWC explain produced no trace")
+	}
+}
+
+// TestShardedSlowLog checks the threshold fans out and entries merge.
+func TestShardedSlowLog(t *testing.T) {
+	_, sh := buildBoth(t, straddlePoints(rand.New(rand.NewSource(31)), 40), 2)
+	sh.SetSlowQueryThreshold(time.Nanosecond)
+	if got := sh.SlowQueryThreshold(); got != time.Nanosecond {
+		t.Fatalf("threshold=%v, want 1ns", got)
+	}
+	if _, err := sh.NWC(nwcq.Query{X: 50, Y: 50, Length: 8, Width: 8, N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if entries := sh.SlowQueries(); len(entries) == 0 {
+		t.Fatal("no slow-query entries despite 1ns threshold")
+	}
+}

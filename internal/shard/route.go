@@ -1,0 +1,703 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nwcq"
+	"nwcq/internal/core"
+	"nwcq/internal/geom"
+)
+
+// Query routing. The plan for both NWC and kNWC is:
+//
+//  1. Scatter: run the query locally on the home shard (the cell
+//     containing q) to seed a distance bound, then on the remaining
+//     shards in ascending MINDIST(q, shard bounds) order, skipping any
+//     shard whose MINDIST exceeds the current bound — the paper's
+//     best-first node pruning lifted to shard granularity.
+//  2. Border: local answers are exact for groups drawn from one
+//     shard's points, but a window straddling a shard boundary can
+//     cluster points no single shard holds together. Every group with
+//     distance at most B has all its objects — and every point of any
+//     window that could generate a competing candidate — inside
+//     box(q, B+l, B+w), so fetching that box's points from every shard
+//     whose bounds intersect it and enumerating candidate groups over
+//     the fetched set (core.CandidateGroups) provably covers all of
+//     them. Candidates from partially-fetched windows are real feasible
+//     groups (their objects genuinely co-fit), so they can never beat
+//     the true optimum — taking the minimum stays exact.
+//  3. kNWC needs the full candidate *sequence* below the answer's k-th
+//     distance, not just the best group, so the border step becomes a
+//     certification loop: fetch box(D+l, D+w), greedily merge the
+//     candidate list truncated at D (below D it is provably identical
+//     to the full dataset's list), and accept when k groups emerged
+//     with the k-th at most D; otherwise double D and rerun. The local
+//     chains only seed D — correctness never depends on them.
+//
+// See DESIGN.md §11 for the containment proofs.
+
+// measureOf maps the public measure onto the core engine's.
+func measureOf(m nwcq.Measure) (core.Measure, error) {
+	switch m {
+	case nwcq.MaxDistance:
+		return core.MeasureMax, nil
+	case nwcq.MinDistance:
+		return core.MeasureMin, nil
+	case nwcq.AvgDistance:
+		return core.MeasureAvg, nil
+	case nwcq.WindowDistance:
+		return core.MeasureWindow, nil
+	default:
+		return 0, fmt.Errorf("nwcq: unknown measure %d", int(m))
+	}
+}
+
+func coreQuery(q nwcq.Query) core.Query {
+	return core.Query{Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N}
+}
+
+func groupOut(g core.Group) nwcq.Group {
+	objs := make([]nwcq.Point, len(g.Objects))
+	for i, p := range g.Objects {
+		objs[i] = nwcq.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	return nwcq.Group{
+		Objects: objs,
+		Dist:    g.Dist,
+		Window:  nwcq.Rect{MinX: g.Window.MinX, MinY: g.Window.MinY, MaxX: g.Window.MaxX, MaxY: g.Window.MaxY},
+	}
+}
+
+func groupIn(g nwcq.Group) core.Group {
+	objs := make([]geom.Point, len(g.Objects))
+	for i, p := range g.Objects {
+		objs[i] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
+	}
+	return core.Group{
+		Objects: objs,
+		Dist:    g.Dist,
+		Window:  geom.NewRect(g.Window.MinX, g.Window.MinY, g.Window.MaxX, g.Window.MaxY),
+	}
+}
+
+func addStats(a, b nwcq.Stats) nwcq.Stats {
+	a.NodeVisits += b.NodeVisits
+	a.ObjectsProcessed += b.ObjectsProcessed
+	a.ObjectsSkipped += b.ObjectsSkipped
+	a.NodesPruned += b.NodesPruned
+	a.WindowQueries += b.WindowQueries
+	a.CandidateWindows += b.CandidateWindows
+	a.QualifiedWindows += b.QualifiedWindows
+	a.GridProbes += b.GridProbes
+	return a
+}
+
+// visitOrder returns shard indexes with home first and the rest in
+// ascending MINDIST(q, bounds) order — the scatter schedule.
+func (s *Sharded) visitOrder(qp geom.Point, bounds []geom.Rect, home int) []int {
+	order := make([]int, 0, len(bounds))
+	for i := range bounds {
+		if i != home {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bounds[order[a]].MinDist2(qp) < bounds[order[b]].MinDist2(qp)
+	})
+	return append([]int{home}, order...)
+}
+
+// fetchBox is the rectangle that contains every object of every
+// candidate group with distance at most d, and every point of every
+// window that can generate such a candidate (closed bounds; see the
+// routing comment).
+func fetchBox(q nwcq.Query, d float64) geom.Rect {
+	return geom.NewRect(q.X-(d+q.Length), q.Y-(d+q.Width), q.X+(d+q.Length), q.Y+(d+q.Width))
+}
+
+// fetchPoints collects every indexed point inside fetch from the shards
+// whose bounds intersect it, returning the points and how many shards
+// contributed. Bounds cover all of a shard's points (including
+// outliers), so skipped shards provably hold nothing inside fetch.
+func (s *Sharded) fetchPoints(bounds []geom.Rect, fetch geom.Rect) ([]geom.Point, error) {
+	var out []geom.Point
+	for i, ix := range s.shards {
+		if !bounds[i].Intersects(fetch) {
+			continue
+		}
+		pts, err := ix.Window(fetch.MinX, fetch.MinY, fetch.MaxX, fetch.MaxY)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			out = append(out, geom.Point{X: p.X, Y: p.Y, ID: p.ID})
+		}
+	}
+	s.obs.borderFetches.Inc()
+	s.obs.borderPoints.Add(uint64(len(out)))
+	return out, nil
+}
+
+// intersecting counts shards whose bounds intersect fetch.
+func intersecting(bounds []geom.Rect, fetch geom.Rect) int {
+	n := 0
+	for _, b := range bounds {
+		if b.Intersects(fetch) {
+			n++
+		}
+	}
+	return n
+}
+
+// allBounds returns the union of every shard's effective bounds — a
+// rectangle covering the entire dataset.
+func allBounds(bounds []geom.Rect) geom.Rect {
+	u := geom.EmptyRect()
+	for _, b := range bounds {
+		u = u.Union(b)
+	}
+	return u
+}
+
+// NWC answers an NWC query without cancellation.
+func (s *Sharded) NWC(q nwcq.Query) (nwcq.Result, error) {
+	return s.NWCCtx(context.Background(), q)
+}
+
+// NWCCtx answers an NWC query by scatter-gather over the shards. The
+// result equals the single-index answer on the same points for every
+// scheme and measure; Stats sums the per-shard work.
+func (s *Sharded) NWCCtx(ctx context.Context, q nwcq.Query) (nwcq.Result, error) {
+	start := time.Now()
+	res, err := s.nwc(ctx, q, nil)
+	s.obs.observe(rNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	return res, err
+}
+
+// ExplainNWC answers an NWC query with per-shard tracing, merging the
+// shard traces into one router-level trace whose phases are prefixed
+// with the shard that ran them, plus a synthetic border-fetch phase.
+func (s *Sharded) ExplainNWC(ctx context.Context, q nwcq.Query) (nwcq.Result, *nwcq.QueryTrace, error) {
+	col := &explainCollector{}
+	start := time.Now()
+	res, err := s.nwc(ctx, q, col)
+	elapsed := time.Since(start)
+	s.obs.observe(rNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
+	return res, col.merged("nwc", q.Scheme, q.Measure, elapsed, res.Stats.NodeVisits), err
+}
+
+func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) (nwcq.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nwcq.Result{}, err
+	}
+	measure, err := measureOf(q.Measure)
+	if err != nil {
+		return nwcq.Result{}, err
+	}
+	qp := geom.Point{X: q.X, Y: q.Y}
+	bounds := s.shardBounds()
+	home := s.shardFor(q.X, q.Y)
+
+	out := nwcq.Result{}
+	best := math.Inf(1)
+	for _, i := range s.visitOrder(qp, bounds, home) {
+		if i != home && bounds[i].MinDist(qp) > best {
+			s.obs.shardsPruned.Inc()
+			continue
+		}
+		r, err := s.shardNWC(ctx, i, q, col)
+		if err != nil {
+			return nwcq.Result{Stats: out.Stats}, err
+		}
+		s.obs.shardQueries.Inc()
+		out.Stats = addStats(out.Stats, r.Stats)
+		if r.Found && r.Dist < best {
+			best = r.Dist
+			out.Group = r.Group
+			out.Found = true
+		}
+	}
+
+	if !math.IsInf(best, 1) {
+		// Border step: candidates at or below the local best live inside
+		// this box; if only one shard's bounds intersect it, that shard's
+		// local answer is already globally exact.
+		fetch := fetchBox(q, best)
+		if intersecting(bounds, fetch) <= 1 {
+			return out, nil
+		}
+		pts, err := s.fetchPoints(bounds, fetch)
+		if err != nil {
+			return nwcq.Result{Stats: out.Stats}, err
+		}
+		col.borderDone(len(pts))
+		cands := core.CandidateGroups(pts, coreQuery(q), measure)
+		if len(cands) > 0 && cands[0].Dist < best {
+			out.Group = groupOut(cands[0])
+		}
+		return out, nil
+	}
+
+	// No shard found a group on its own points. Any group that exists
+	// must mix points from several shards, so enumerate candidates over
+	// the full dataset (the no-local-answer case is the one place the
+	// fetch cannot be bounded by a distance).
+	pts, err := s.fetchPoints(bounds, allBounds(bounds))
+	if err != nil {
+		return nwcq.Result{Stats: out.Stats}, err
+	}
+	col.borderDone(len(pts))
+	if cands := core.CandidateGroups(pts, coreQuery(q), measure); len(cands) > 0 {
+		out.Found = true
+		out.Group = groupOut(cands[0])
+	}
+	return out, nil
+}
+
+func (s *Sharded) shardNWC(ctx context.Context, i int, q nwcq.Query, col *explainCollector) (nwcq.Result, error) {
+	if col == nil {
+		return s.shards[i].NWCCtx(ctx, q)
+	}
+	res, tr, err := s.shards[i].ExplainNWC(ctx, q)
+	col.add(i, tr)
+	return res, err
+}
+
+// KNWC answers a kNWC query without cancellation.
+func (s *Sharded) KNWC(q nwcq.KQuery) (nwcq.KResult, error) {
+	return s.KNWCCtx(context.Background(), q)
+}
+
+// KNWCCtx answers a kNWC query: per-shard KResult chains are merged
+// through the same greedy dedup ordering the engine uses, then the
+// merge is certified exact against a bounded candidate enumeration
+// (rerunning with a doubled bound when certification fails). The
+// result equals the single-index answer in group count and distances.
+func (s *Sharded) KNWCCtx(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, error) {
+	start := time.Now()
+	res, err := s.knwc(ctx, q, nil)
+	s.obs.observe(rKNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	return res, err
+}
+
+// ExplainKNWC is KNWCCtx with per-shard tracing, merged like
+// ExplainNWC.
+func (s *Sharded) ExplainKNWC(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, *nwcq.QueryTrace, error) {
+	col := &explainCollector{}
+	start := time.Now()
+	res, err := s.knwc(ctx, q, col)
+	elapsed := time.Since(start)
+	s.obs.observe(rKNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
+	return res, col.merged("knwc", q.Scheme, q.Measure, elapsed, res.Stats.NodeVisits), err
+}
+
+// compatible reports whether g can join groups under the overlap budget
+// m: it must share at most m objects with every member and must not
+// duplicate one — the engine's (and BruteForceKNWC's) acceptance rule.
+func compatible(groups []core.Group, g core.Group, m int) bool {
+	for _, h := range groups {
+		ov := h.OverlapCount(g)
+		if ov > m || ov == len(g.Objects) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeEstimate runs the greedy acceptance over the pooled per-shard
+// chain groups (ascending by distance) and returns the k-th accepted
+// distance, or +Inf when the pool cannot supply k groups. Ties are
+// broken deterministically but the value is only used as a fetch
+// bound, never returned.
+func mergeEstimate(pool []core.Group, k, m int) float64 {
+	sorted := make([]core.Group, len(pool))
+	copy(sorted, pool)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Dist < sorted[j].Dist })
+	var accepted []core.Group
+	for _, g := range sorted {
+		if compatible(accepted, g, m) {
+			accepted = append(accepted, g)
+			if len(accepted) == k {
+				return g.Dist
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector) (nwcq.KResult, error) {
+	if err := q.Validate(); err != nil {
+		return nwcq.KResult{}, err
+	}
+	measure, err := measureOf(q.Measure)
+	if err != nil {
+		return nwcq.KResult{}, err
+	}
+	qp := geom.Point{X: q.X, Y: q.Y}
+	bounds := s.shardBounds()
+	home := s.shardFor(q.X, q.Y)
+	cq := coreQuery(q.Query)
+
+	// Scatter: collect per-shard chains, pruning against the running
+	// merged estimate. The pool only seeds the certification bound.
+	var stats nwcq.Stats
+	var pool []core.Group
+	est := math.Inf(1)
+	for _, i := range s.visitOrder(qp, bounds, home) {
+		if i != home && bounds[i].MinDist(qp) > est {
+			s.obs.shardsPruned.Inc()
+			continue
+		}
+		kr, err := s.shardKNWC(ctx, i, q, col)
+		if err != nil {
+			return nwcq.KResult{Stats: stats}, err
+		}
+		s.obs.shardQueries.Inc()
+		stats = addStats(stats, kr.Stats)
+		for _, g := range kr.Groups {
+			pool = append(pool, groupIn(g))
+		}
+		est = mergeEstimate(pool, q.K, q.M)
+	}
+
+	// Fast path: every candidate at or below the estimate lives in a
+	// single shard, so that shard's own greedy chain is the global
+	// answer — and it is exactly what the merge reproduces.
+	if !math.IsInf(est, 1) && intersecting(bounds, fetchBox(q.Query, est)) <= 1 {
+		return s.mergedKResult(pool, q, stats), nil
+	}
+
+	// Certification loop: fetch box(D), merge the candidate list
+	// truncated at D (identical to the full dataset's list up to D),
+	// and accept once k groups emerged or the fetch covered everything.
+	d := est
+	if math.IsInf(d, 1) || d <= 0 {
+		d = math.Hypot(q.Length, q.Width)
+	}
+	whole := allBounds(bounds)
+	for iter := 0; ; iter++ {
+		if iter > 0 {
+			s.obs.fetchReruns.Inc()
+		}
+		fetch := fetchBox(q.Query, d)
+		complete := fetch.ContainsRect(whole)
+		if complete {
+			fetch = whole
+		}
+		pts, err := s.fetchPoints(bounds, fetch)
+		if err != nil {
+			return nwcq.KResult{Stats: stats}, err
+		}
+		col.borderDone(len(pts))
+		var groups []core.Group
+		for _, g := range core.CandidateGroups(pts, cq, measure) {
+			if !complete && g.Dist > d {
+				break // sorted ascending; past the certified horizon
+			}
+			if compatible(groups, g, q.M) {
+				groups = append(groups, g)
+				if len(groups) == q.K {
+					break
+				}
+			}
+		}
+		if len(groups) == q.K || complete {
+			out := nwcq.KResult{Found: len(groups) > 0, Stats: stats}
+			for _, g := range groups {
+				out.Groups = append(out.Groups, groupOut(g))
+			}
+			return out, nil
+		}
+		d = math.Max(2*d, math.Hypot(q.Length, q.Width))
+	}
+}
+
+// mergedKResult materialises the fast-path answer: greedy over the
+// pooled chains, ascending by distance.
+func (s *Sharded) mergedKResult(pool []core.Group, q nwcq.KQuery, stats nwcq.Stats) nwcq.KResult {
+	sorted := make([]core.Group, len(pool))
+	copy(sorted, pool)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Dist < sorted[j].Dist })
+	var accepted []core.Group
+	for _, g := range sorted {
+		if compatible(accepted, g, q.M) {
+			accepted = append(accepted, g)
+			if len(accepted) == q.K {
+				break
+			}
+		}
+	}
+	out := nwcq.KResult{Found: len(accepted) > 0, Stats: stats}
+	for _, g := range accepted {
+		out.Groups = append(out.Groups, groupOut(g))
+	}
+	return out
+}
+
+func (s *Sharded) shardKNWC(ctx context.Context, i int, q nwcq.KQuery, col *explainCollector) (nwcq.KResult, error) {
+	if col == nil {
+		return s.shards[i].KNWCCtx(ctx, q)
+	}
+	res, tr, err := s.shards[i].ExplainKNWC(ctx, q)
+	col.add(i, tr)
+	return res, err
+}
+
+// Window runs a range query across every shard and concatenates the
+// results (shards hold disjoint point sets, so no dedup is needed).
+func (s *Sharded) Window(minX, minY, maxX, maxY float64) ([]nwcq.Point, error) {
+	start := time.Now()
+	var out []nwcq.Point
+	var err error
+	for _, ix := range s.shards {
+		var pts []nwcq.Point
+		pts, err = ix.Window(minX, minY, maxX, maxY)
+		if err != nil {
+			break
+		}
+		out = append(out, pts...)
+	}
+	s.obs.observe(rWindow, nwcq.SchemeDefault, time.Since(start), 0, err)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Nearest merges every shard's k nearest into the global k nearest,
+// ascending by distance.
+func (s *Sharded) Nearest(x, y float64, k int) ([]nwcq.Point, error) {
+	start := time.Now()
+	out, err := s.nearest(x, y, k)
+	s.obs.observe(rNearest, nwcq.SchemeDefault, time.Since(start), 0, err)
+	return out, err
+}
+
+func (s *Sharded) nearest(x, y float64, k int) ([]nwcq.Point, error) {
+	var all []nwcq.Point
+	for _, ix := range s.shards {
+		pts, err := ix.Nearest(x, y, k)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, pts...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		di := (all[i].X-x)*(all[i].X-x) + (all[i].Y-y)*(all[i].Y-y)
+		dj := (all[j].X-x)*(all[j].X-x) + (all[j].Y-y)*(all[j].Y-y)
+		return di < dj
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// NWCBatch answers many NWC queries concurrently, in input order.
+func (s *Sharded) NWCBatch(queries []nwcq.Query, opt nwcq.BatchOptions) ([]nwcq.Result, error) {
+	return s.NWCBatchCtx(context.Background(), queries, opt)
+}
+
+// NWCBatchCtx fans routed NWC queries over a worker pool; the first
+// error aborts the batch, matching the single-index semantics.
+func (s *Sharded) NWCBatchCtx(ctx context.Context, queries []nwcq.Query, opt nwcq.BatchOptions) ([]nwcq.Result, error) {
+	results := make([]nwcq.Result, len(queries))
+	err := eachIndexed(len(queries), batchWorkers(opt), func(i int) error {
+		res, err := s.NWCCtx(ctx, queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// KNWCBatch answers many kNWC queries concurrently, in input order.
+func (s *Sharded) KNWCBatch(queries []nwcq.KQuery, opt nwcq.BatchOptions) ([]nwcq.KResult, error) {
+	return s.KNWCBatchCtx(context.Background(), queries, opt)
+}
+
+// KNWCBatchCtx is the kNWC batch form of NWCBatchCtx.
+func (s *Sharded) KNWCBatchCtx(ctx context.Context, queries []nwcq.KQuery, opt nwcq.BatchOptions) ([]nwcq.KResult, error) {
+	results := make([]nwcq.KResult, len(queries))
+	err := eachIndexed(len(queries), batchWorkers(opt), func(i int) error {
+		res, err := s.KNWCCtx(ctx, queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func batchWorkers(opt nwcq.BatchOptions) int {
+	if opt.Parallelism > 0 {
+		return opt.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// eachIndexed runs fn(0..n-1) over a bounded worker pool, returning the
+// first error (remaining work is skipped, in-flight calls finish).
+func eachIndexed(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// explainCollector gathers per-shard traces during an explained routed
+// query. A nil collector is the no-trace fast path.
+type explainCollector struct {
+	entries []shardTrace
+	// borderPoints is -1 until a border fetch ran.
+	borderPoints int
+	borderStart  time.Time
+	borderTime   time.Duration
+}
+
+type shardTrace struct {
+	shard int
+	trace *nwcq.QueryTrace
+}
+
+func (c *explainCollector) add(shard int, tr *nwcq.QueryTrace) {
+	if c == nil {
+		return
+	}
+	c.entries = append(c.entries, shardTrace{shard: shard, trace: tr})
+	c.borderStart = time.Now()
+}
+
+// borderDone stamps the border-fetch phase (points fetched, duration
+// since the last scatter query finished).
+func (c *explainCollector) borderDone(points int) {
+	if c == nil {
+		return
+	}
+	c.borderPoints += points
+	if !c.borderStart.IsZero() {
+		c.borderTime = time.Since(c.borderStart)
+	}
+}
+
+// merged assembles the router-level trace: every shard's phases
+// prefixed with its shard number, counters summed, plus a synthetic
+// border-fetch phase when one ran.
+func (c *explainCollector) merged(kind string, scheme nwcq.Scheme, measure nwcq.Measure, elapsed time.Duration, visits uint64) *nwcq.QueryTrace {
+	qt := &nwcq.QueryTrace{
+		Kind:       kind,
+		Scheme:     scheme.String(),
+		Measure:    measure.String(),
+		StartedAt:  time.Now().Add(-elapsed),
+		Duration:   elapsed,
+		NodeVisits: visits,
+	}
+	for _, e := range c.entries {
+		prefix := fmt.Sprintf("shard%d:", e.shard)
+		for _, p := range e.trace.Phases {
+			qt.Phases = append(qt.Phases, nwcq.PhaseTrace{
+				Phase:      prefix + p.Phase,
+				Duration:   p.Duration,
+				Entered:    p.Entered,
+				NodeVisits: p.NodeVisits,
+			})
+		}
+		qt.Counters = addCounters(qt.Counters, e.trace.Counters)
+		if e.trace.HeapHighWater > qt.HeapHighWater {
+			qt.HeapHighWater = e.trace.HeapHighWater
+		}
+		if e.trace.CandidateHighWater > qt.CandidateHighWater {
+			qt.CandidateHighWater = e.trace.CandidateHighWater
+		}
+	}
+	if c.borderPoints > 0 || c.borderTime > 0 {
+		qt.Phases = append(qt.Phases, nwcq.PhaseTrace{
+			Phase:    "border-fetch",
+			Duration: c.borderTime,
+			Entered:  1,
+		})
+	}
+	return qt
+}
+
+func addCounters(a, b nwcq.TraceCounters) nwcq.TraceCounters {
+	a.SRRShrinks += b.SRRShrinks
+	a.SRRSkips += b.SRRSkips
+	a.DIPPrunedNodes += b.DIPPrunedNodes
+	a.DEPPrunedNodes += b.DEPPrunedNodes
+	a.DEPSkippedObjects += b.DEPSkippedObjects
+	a.GridProbes += b.GridProbes
+	a.WindowQueries += b.WindowQueries
+	a.CandidateWindows += b.CandidateWindows
+	a.QualifiedWindows += b.QualifiedWindows
+	a.GroupsEmitted += b.GroupsEmitted
+	a.IWPJumpStarts += b.IWPJumpStarts
+	a.IWPRootStarts += b.IWPRootStarts
+	a.IWPOverlapScans += b.IWPOverlapScans
+	a.DedupOffered += b.DedupOffered
+	a.DedupAccepted += b.DedupAccepted
+	return a
+}

@@ -1,0 +1,468 @@
+// Package shard partitions the object space across N nwcq indexes and
+// routes queries scatter-gather, lifting the paper's best-first MINDIST
+// bound one level up: from R*-tree nodes to shard regions. The Sharded
+// frontend satisfies the same Querier/Mutator interfaces as a single
+// *nwcq.Index, so servers, CLIs and batch drivers switch backends
+// without code changes.
+//
+// Partitioning is a gx × gy grid over the configured space (gx the
+// largest divisor of Shards not above √Shards), each cell one shard.
+// Points route to the cell containing them; points outside the space
+// clamp to the nearest edge cell, and each shard's effective bounds
+// grow (monotonically) to cover such outliers so MINDIST pruning stays
+// sound. Queries hit the home shard (the cell containing q) first to
+// seed a distance bound, visit the remaining shards in ascending
+// MINDIST order pruning those the bound excludes, and finish with a
+// border-fetch step that makes windows straddling shard boundaries
+// exact (route.go). See DESIGN.md §11.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nwcq"
+	"nwcq/internal/geom"
+)
+
+// Options configures NewSharded and OpenSharded.
+type Options struct {
+	// Shards is the number of index shards (at least 1).
+	Shards int
+	// Space is the partitioned rectangle. The zero value derives it from
+	// the build points' bounding box (padded), like nwcq.Build does.
+	Space nwcq.Rect
+	// Dir, when non-empty, makes each shard a paged, WAL-backed index
+	// under Dir (shard-NNN.nwcq plus a manifest.json); empty keeps every
+	// shard in memory. OpenSharded requires it.
+	Dir string
+	// Build options are forwarded verbatim to every shard's constructor,
+	// so the page-cache, node-cache, WAL and slow-query knobs are
+	// declared once and apply per shard. Do not pass nwcq.WithSpace here:
+	// each shard derives its own (sub-)space from its points.
+	Build []nwcq.BuildOption
+}
+
+// Sharded owns N index shards and a scatter-gather router over them.
+// It satisfies nwcq.Querier, nwcq.Mutator, nwcq.Introspector and
+// nwcq.SlowLogger; all methods are safe for unrestricted concurrent
+// use, with the same per-shard consistency the underlying indexes give
+// (queries see atomically published views; cross-shard batches are
+// atomic per shard, not across shards).
+type Sharded struct {
+	shards []*nwcq.Index
+	// pageds holds the paged form of each shard in Dir mode (nil
+	// entries in memory mode); Close and page-cache metrics use it.
+	pageds []*nwcq.PagedIndex
+
+	space   geom.Rect
+	gx, gy  int
+	regions []geom.Rect // nominal grid cells, fixed at construction
+
+	// bounds is the effective per-shard bounds: the nominal region
+	// unioned with every out-of-region point routed to the shard. It
+	// only ever grows, is read with one atomic load on the query path,
+	// and is swapped copy-on-write under bmu by mutations.
+	bounds atomic.Pointer[[]geom.Rect]
+	bmu    sync.Mutex
+
+	created time.Time
+	obs     *routerMetrics
+}
+
+// Interface conformance mirrors the single-index checks in nwcq.
+var (
+	_ nwcq.Querier      = (*Sharded)(nil)
+	_ nwcq.Mutator      = (*Sharded)(nil)
+	_ nwcq.Introspector = (*Sharded)(nil)
+	_ nwcq.SlowLogger   = (*Sharded)(nil)
+)
+
+// splitGrid picks the gx × gy grid for n shards: gx is the largest
+// divisor of n not above √n, so the cells stay as square as possible.
+func splitGrid(n int) (gx, gy int) {
+	gx = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			gx = d
+		}
+	}
+	return gx, n / gx
+}
+
+// rectFrom converts the public rectangle, deriving a padded bounding
+// box from points when the zero value was given.
+func rectFrom(r nwcq.Rect, points []nwcq.Point) geom.Rect {
+	if r != (nwcq.Rect{}) {
+		return geom.NewRect(r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	space := geom.EmptyRect()
+	for _, p := range points {
+		space = space.ExtendPoint(geom.Point{X: p.X, Y: p.Y, ID: p.ID})
+	}
+	if space.IsEmpty() {
+		space = geom.NewRect(0, 0, 1, 1)
+	}
+	if space.Width() <= 0 || space.Height() <= 0 {
+		space = space.Buffer(1, 1)
+	}
+	return space
+}
+
+// newRouter builds the Sharded shell: partitioning, regions, initial
+// bounds and router metrics. Shards are attached by the constructors.
+func newRouter(space geom.Rect, n int) *Sharded {
+	gx, gy := splitGrid(n)
+	s := &Sharded{
+		space: space, gx: gx, gy: gy,
+		regions: make([]geom.Rect, n),
+		created: time.Now(),
+		obs:     newRouterMetrics(),
+	}
+	cw, ch := space.Width()/float64(gx), space.Height()/float64(gy)
+	for i := 0; i < n; i++ {
+		col, row := i%gx, i/gx
+		minX := space.MinX + float64(col)*cw
+		minY := space.MinY + float64(row)*ch
+		maxX, maxY := minX+cw, minY+ch
+		// Snap the outer edges exactly onto the space so floating-point
+		// division never leaves a sliver uncovered.
+		if col == gx-1 {
+			maxX = space.MaxX
+		}
+		if row == gy-1 {
+			maxY = space.MaxY
+		}
+		s.regions[i] = geom.NewRect(minX, minY, maxX, maxY)
+	}
+	b := make([]geom.Rect, n)
+	copy(b, s.regions)
+	s.bounds.Store(&b)
+	return s
+}
+
+// shardFor routes a location to its shard: the grid cell containing it,
+// with out-of-space locations clamped to the nearest edge cell.
+func (s *Sharded) shardFor(x, y float64) int {
+	cw, ch := s.space.Width()/float64(s.gx), s.space.Height()/float64(s.gy)
+	col := int(math.Floor((x - s.space.MinX) / cw))
+	row := int(math.Floor((y - s.space.MinY) / ch))
+	if col < 0 {
+		col = 0
+	}
+	if col >= s.gx {
+		col = s.gx - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= s.gy {
+		row = s.gy - 1
+	}
+	return row*s.gx + col
+}
+
+// shardBounds returns the current effective bounds slice (immutable;
+// do not modify).
+func (s *Sharded) shardBounds() []geom.Rect { return *s.bounds.Load() }
+
+// extendBounds grows shard i's effective bounds to cover p, if needed.
+// Extension is monotonic, so pruning against stale (smaller) bounds can
+// only happen for points not yet visible to any query.
+func (s *Sharded) extendBounds(i int, pts []nwcq.Point) {
+	cur := s.shardBounds()
+	needs := false
+	for _, p := range pts {
+		if !cur[i].ContainsPoint(geom.Point{X: p.X, Y: p.Y}) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	cur = s.shardBounds()
+	next := make([]geom.Rect, len(cur))
+	copy(next, cur)
+	for _, p := range pts {
+		next[i] = next[i].ExtendPoint(geom.Point{X: p.X, Y: p.Y})
+	}
+	s.bounds.Store(&next)
+}
+
+// partition splits points by destination shard, preserving input order
+// within each shard.
+func (s *Sharded) partition(points []nwcq.Point) [][]nwcq.Point {
+	parts := make([][]nwcq.Point, len(s.regions))
+	for _, p := range points {
+		i := s.shardFor(p.X, p.Y)
+		parts[i] = append(parts[i], p)
+	}
+	return parts
+}
+
+// NewSharded partitions points across opt.Shards indexes and returns
+// the scatter-gather frontend over them. With opt.Dir set the shards
+// are paged, WAL-backed indexes under that directory (created if
+// needed) with a manifest so OpenSharded can reopen them; otherwise
+// everything lives in memory.
+func NewSharded(points []nwcq.Point, opt Options) (*Sharded, error) {
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards must be at least 1, got %d", opt.Shards)
+	}
+	s := newRouter(rectFrom(opt.Space, points), opt.Shards)
+	parts := s.partition(points)
+	s.shards = make([]*nwcq.Index, opt.Shards)
+	s.pageds = make([]*nwcq.PagedIndex, opt.Shards)
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeManifest(opt.Dir, s); err != nil {
+			return nil, err
+		}
+	}
+	for i := range s.shards {
+		if opt.Dir == "" {
+			ix, err := nwcq.Build(parts[i], opt.Build...)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			s.shards[i] = ix
+			continue
+		}
+		px, err := nwcq.BuildPaged(parts[i], shardPath(opt.Dir, i), opt.Build...)
+		if err != nil {
+			s.closeShards()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.pageds[i] = px
+		s.shards[i] = &px.Index
+	}
+	for i, part := range parts {
+		s.extendBounds(i, part)
+	}
+	return s, nil
+}
+
+// OpenSharded reopens a sharded directory written by NewSharded,
+// replaying each shard's write-ahead log (crash recovery happens per
+// shard, independently). opt.Build is forwarded to every OpenPaged;
+// opt.Shards and opt.Space are taken from the manifest.
+func OpenSharded(dir string, opt Options) (*Sharded, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := newRouter(geom.NewRect(m.Space.MinX, m.Space.MinY, m.Space.MaxX, m.Space.MaxY), m.Shards)
+	s.shards = make([]*nwcq.Index, m.Shards)
+	s.pageds = make([]*nwcq.PagedIndex, m.Shards)
+	for i := range s.shards {
+		px, err := nwcq.OpenPaged(shardPath(dir, i), opt.Build...)
+		if err != nil {
+			s.closeShards()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.pageds[i] = px
+		s.shards[i] = &px.Index
+	}
+	// Recover the effective bounds: outliers routed to edge cells live
+	// outside their nominal region, and pruning must keep covering them.
+	for i, ix := range s.shards {
+		all, err := ix.Window(-math.MaxFloat64, -math.MaxFloat64, math.MaxFloat64, math.MaxFloat64)
+		if err != nil {
+			s.closeShards()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.extendBounds(i, all)
+	}
+	return s, nil
+}
+
+// manifest is the sharded directory's layout record.
+type manifest struct {
+	Shards int       `json:"shards"`
+	Space  nwcq.Rect `json:"space"`
+}
+
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.nwcq", i))
+}
+
+func writeManifest(dir string, s *Sharded) error {
+	data, err := json.Marshal(manifest{
+		Shards: len(s.regions),
+		Space:  nwcq.Rect{MinX: s.space.MinX, MinY: s.space.MinY, MaxX: s.space.MaxX, MaxY: s.space.MaxY},
+	})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+func readManifest(dir string) (manifest, error) {
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("shard: manifest: %w", err)
+	}
+	if m.Shards < 1 {
+		return m, fmt.Errorf("shard: manifest declares %d shards", m.Shards)
+	}
+	return m, nil
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// ShardRegions returns the nominal partition rectangles, in shard
+// order.
+func (s *Sharded) ShardRegions() []nwcq.Rect {
+	out := make([]nwcq.Rect, len(s.regions))
+	for i, r := range s.regions {
+		out[i] = nwcq.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+	}
+	return out
+}
+
+// Len returns the total number of indexed points across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.Len()
+	}
+	return n
+}
+
+// TreeHeight returns the tallest shard's R*-tree height.
+func (s *Sharded) TreeHeight() int {
+	h := 0
+	for _, ix := range s.shards {
+		if th := ix.TreeHeight(); th > h {
+			h = th
+		}
+	}
+	return h
+}
+
+// IOStats returns the cumulative node visits summed over all shards.
+func (s *Sharded) IOStats() uint64 {
+	var n uint64
+	for _, ix := range s.shards {
+		n += ix.IOStats()
+	}
+	return n
+}
+
+// ResetIOStats zeroes every shard's cumulative node-visit counter.
+func (s *Sharded) ResetIOStats() {
+	for _, ix := range s.shards {
+		ix.ResetIOStats()
+	}
+}
+
+// StorageOverheadBytes sums the shards' density-grid and IWP overheads.
+func (s *Sharded) StorageOverheadBytes() (gridBytes, iwpBytes int) {
+	for _, ix := range s.shards {
+		g, w := ix.StorageOverheadBytes()
+		gridBytes += g
+		iwpBytes += w
+	}
+	return gridBytes, iwpBytes
+}
+
+// Close releases every shard (checkpointing WAL-backed ones); the
+// first error wins but every shard is closed regardless.
+func (s *Sharded) Close() error { return s.closeShards() }
+
+func (s *Sharded) closeShards() error {
+	var firstErr error
+	for i := range s.shards {
+		var err error
+		if s.pageds[i] != nil {
+			err = s.pageds[i].Close()
+		} else if s.shards[i] != nil {
+			err = s.shards[i].Close()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Insert routes the point to its shard by partition key. Safe under
+// full concurrency; bounds extension (for points outside the shard's
+// region) is published before the point becomes visible to queries.
+func (s *Sharded) Insert(p nwcq.Point) error {
+	start := time.Now()
+	i := s.shardFor(p.X, p.Y)
+	s.extendBounds(i, []nwcq.Point{p})
+	err := s.shards[i].Insert(p)
+	s.obs.observe(rInsert, nwcq.SchemeDefault, time.Since(start), 0, err)
+	return err
+}
+
+// InsertBatch routes points to their shards and inserts per shard
+// atomically. Atomicity is per shard: a failure leaves earlier shards'
+// sub-batches applied (each sub-batch itself is all-or-nothing).
+func (s *Sharded) InsertBatch(pts []nwcq.Point) error {
+	for i, part := range s.partition(pts) {
+		if len(part) == 0 {
+			continue
+		}
+		s.extendBounds(i, part)
+		if err := s.shards[i].InsertBatch(part); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Delete routes the deletion to the point's shard and reports whether
+// the point was found there.
+func (s *Sharded) Delete(p nwcq.Point) (bool, error) {
+	start := time.Now()
+	found, err := s.shards[s.shardFor(p.X, p.Y)].Delete(p)
+	s.obs.observe(rDelete, nwcq.SchemeDefault, time.Since(start), 0, err)
+	return found, err
+}
+
+// DeleteBatch routes deletions per shard (each shard's sub-batch is
+// atomic) and returns one found flag per input point, in input order.
+func (s *Sharded) DeleteBatch(pts []nwcq.Point) ([]bool, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	byShard := make(map[int][]int, len(s.shards))
+	for i, p := range pts {
+		si := s.shardFor(p.X, p.Y)
+		byShard[si] = append(byShard[si], i)
+	}
+	founds := make([]bool, len(pts))
+	for si, idxs := range byShard {
+		part := make([]nwcq.Point, len(idxs))
+		for j, i := range idxs {
+			part[j] = pts[i]
+		}
+		fs, err := s.shards[si].DeleteBatch(part)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+		for j, i := range idxs {
+			founds[i] = fs[j]
+		}
+	}
+	return founds, nil
+}

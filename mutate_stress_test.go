@@ -260,11 +260,12 @@ func TestMutationStressPrefixCorrectness(t *testing.T) {
 			q := kqueries[qi]
 			q.Scheme = schemes[it%len(schemes)]
 			lo0 := completed.Load()
-			groups, _, err := idx.KNWC(q)
+			res, err := idx.KNWC(q)
 			if err != nil {
 				t.Errorf("knwc worker: %v", err)
 				return
 			}
+			groups := res.Groups
 			lo, hi := versionBounds(lo0)
 			ok := false
 			for v := lo; v <= hi && !ok; v++ {

@@ -614,15 +614,11 @@ func (ix *Index) knwc(ctx context.Context, q KQuery, rec *trace.Recorder) (KResu
 	return out, nil
 }
 
-// KNWC answers a kNWC query, returning up to K groups ordered by
-// ascending distance, pairwise sharing at most M objects.
-//
-// Deprecated: use KNWCCtx, whose KResult mirrors NWC's single-result
-// shape and carries context support. This three-value form is kept so
-// existing callers compile.
-func (ix *Index) KNWC(q KQuery) ([]Group, Stats, error) {
-	res, err := ix.KNWCCtx(context.Background(), q)
-	return res.Groups, res.Stats, err
+// KNWC answers a kNWC query, returning a KResult with up to K groups
+// ordered by ascending distance, pairwise sharing at most M objects.
+// It is KNWCCtx without a context.
+func (ix *Index) KNWC(q KQuery) (KResult, error) {
+	return ix.KNWCCtx(context.Background(), q)
 }
 
 // Window runs a plain window (range) query, returning the points inside

@@ -120,13 +120,14 @@ func TestKNWCThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groups, st, err := idx.KNWC(KQuery{
+	res, err := idx.KNWC(KQuery{
 		Query: Query{X: 500, Y: 500, Length: 80, Width: 80, N: 4},
 		K:     3, M: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	groups, st := res.Groups, res.Stats
 	if len(groups) != 3 {
 		t.Fatalf("%d groups", len(groups))
 	}

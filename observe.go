@@ -1,10 +1,7 @@
 package nwcq
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"strconv"
 	"time"
 
 	"nwcq/internal/metrics"
@@ -163,11 +160,32 @@ type MetricsSnapshot struct {
 	// query on a freshly published view after a mutation).
 	IWPRebuilds uint64 `json:"iwp_rebuilds"`
 	// PageCache reports buffer-pool counters; nil for in-memory indexes,
-	// which have no page cache.
+	// which have no page cache. A sharded backend sums its shards'.
 	PageCache *PageCacheMetrics `json:"page_cache,omitempty"`
 	// WAL reports write-ahead-log counters; nil for in-memory indexes
-	// and indexes built WithoutWAL.
+	// and indexes built WithoutWAL. A sharded backend sums its shards'.
 	WAL *WALMetrics `json:"wal,omitempty"`
+	// Router reports scatter-gather routing counters; nil for
+	// single-index backends.
+	Router *RouterMetrics `json:"router,omitempty"`
+}
+
+// RouterMetrics reports the routing activity of a sharded backend
+// (internal/shard); a single index never sets it.
+type RouterMetrics struct {
+	// Shards is the number of index shards behind the router.
+	Shards int `json:"shards"`
+	// ShardQueries counts local scatter queries issued to shards;
+	// ShardsPruned counts shards the MINDIST bound let the router skip.
+	ShardQueries uint64 `json:"shard_queries"`
+	ShardsPruned uint64 `json:"shards_pruned"`
+	// BorderFetches counts border-fetch passes for boundary-straddling
+	// windows, BorderPoints the candidate points they collected.
+	BorderFetches uint64 `json:"border_fetches"`
+	BorderPoints  uint64 `json:"border_points"`
+	// FetchReruns counts kNWC certification retries (fetch-bound
+	// doublings before the merged answer was provably exact).
+	FetchReruns uint64 `json:"fetch_reruns"`
 }
 
 // Metrics returns aggregated latency, error and I/O statistics over
@@ -244,44 +262,44 @@ func (ix *Index) Metrics() MetricsSnapshot {
 // indexes. The server exposes it at GET /metrics?format=prometheus.
 func (ix *Index) WritePrometheus(w io.Writer) error {
 	m := ix.obs
-	pw := &promWriter{w: w}
-	pw.header("nwcq_queries_total", "counter", "Queries served, by operation kind.")
+	pw := &promWriter{W: w}
+	pw.Header("nwcq_queries_total", "counter", "Queries served, by operation kind.")
 	for k := queryKind(0); k < kindCount; k++ {
-		pw.value("nwcq_queries_total", labels{"kind", kindNames[k]}, float64(m.queries[k].Value()))
+		pw.Value("nwcq_queries_total", labels{"kind", kindNames[k]}, float64(m.queries[k].Value()))
 	}
-	pw.header("nwcq_query_errors_total", "counter", "Failed queries, by operation kind.")
+	pw.Header("nwcq_query_errors_total", "counter", "Failed queries, by operation kind.")
 	for k := queryKind(0); k < kindCount; k++ {
-		pw.value("nwcq_query_errors_total", labels{"kind", kindNames[k]}, float64(m.errors[k].Value()))
+		pw.Value("nwcq_query_errors_total", labels{"kind", kindNames[k]}, float64(m.errors[k].Value()))
 	}
-	pw.header("nwcq_query_latency_seconds", "histogram", "Query latency, by operation kind.")
+	pw.Header("nwcq_query_latency_seconds", "histogram", "Query latency, by operation kind.")
 	for k := queryKind(0); k < kindCount; k++ {
-		pw.histogram("nwcq_query_latency_seconds", labels{"kind", kindNames[k]}, m.latency[k].Snapshot())
+		pw.Histogram("nwcq_query_latency_seconds", labels{"kind", kindNames[k]}, m.latency[k].Snapshot())
 	}
-	pw.header("nwcq_query_node_visits", "histogram", "Per-query R*-tree node visits (nwc and knwc only).")
+	pw.Header("nwcq_query_node_visits", "histogram", "Per-query R*-tree node visits (nwc and knwc only).")
 	for _, k := range []queryKind{kindNWC, kindKNWC} {
-		pw.histogram("nwcq_query_node_visits", labels{"kind", kindNames[k]}, m.visits[k].Snapshot())
+		pw.Histogram("nwcq_query_node_visits", labels{"kind", kindNames[k]}, m.visits[k].Snapshot())
 	}
-	pw.header("nwcq_scheme_queries_total", "counter", "NWC/kNWC queries, by resolved optimisation scheme.")
+	pw.Header("nwcq_scheme_queries_total", "counter", "NWC/kNWC queries, by resolved optimisation scheme.")
 	schemes := make(map[string]uint64)
 	for i := range m.byScheme {
 		if n := m.byScheme[i].Value(); n > 0 {
 			schemes[NewScheme(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0).String()] += n
 		}
 	}
-	for _, name := range sortedKeys(schemes) {
-		pw.value("nwcq_scheme_queries_total", labels{"scheme", name}, float64(schemes[name]))
+	for _, name := range metrics.SortedKeys(schemes) {
+		pw.Value("nwcq_scheme_queries_total", labels{"scheme", name}, float64(schemes[name]))
 	}
 	cur := ix.cur.Load()
-	pw.header("nwcq_node_visits_total", "counter", "Cumulative R*-tree node visits across all queries.")
-	pw.value("nwcq_node_visits_total", nil, float64(cur.tree.Visits()))
-	pw.header("nwcq_index_points", "gauge", "Points currently indexed.")
-	pw.value("nwcq_index_points", nil, float64(cur.tree.Len()))
-	pw.header("nwcq_iwp_rebuilds_total", "counter", "Lazy per-view IWP pointer rebuilds after mutations.")
-	pw.value("nwcq_iwp_rebuilds_total", nil, float64(m.iwpRebuilds.Value()))
-	pw.header("nwcq_uptime_seconds", "gauge", "Seconds since the index was built or opened.")
-	pw.value("nwcq_uptime_seconds", nil, time.Since(ix.created).Seconds())
-	pw.header("nwcq_slow_queries_total", "counter", "Queries that exceeded the slow-query threshold.")
-	pw.value("nwcq_slow_queries_total", nil, float64(ix.slow.ring.Recorded()))
+	pw.Header("nwcq_node_visits_total", "counter", "Cumulative R*-tree node visits across all queries.")
+	pw.Value("nwcq_node_visits_total", nil, float64(cur.tree.Visits()))
+	pw.Header("nwcq_index_points", "gauge", "Points currently indexed.")
+	pw.Value("nwcq_index_points", nil, float64(cur.tree.Len()))
+	pw.Header("nwcq_iwp_rebuilds_total", "counter", "Lazy per-view IWP pointer rebuilds after mutations.")
+	pw.Value("nwcq_iwp_rebuilds_total", nil, float64(m.iwpRebuilds.Value()))
+	pw.Header("nwcq_uptime_seconds", "gauge", "Seconds since the index was built or opened.")
+	pw.Value("nwcq_uptime_seconds", nil, time.Since(ix.created).Seconds())
+	pw.Header("nwcq_slow_queries_total", "counter", "Queries that exceeded the slow-query threshold.")
+	pw.Value("nwcq_slow_queries_total", nil, float64(ix.slow.ring.Recorded()))
 	if ix.pageStats != nil {
 		st := ix.pageStats()
 		for _, c := range []struct {
@@ -296,8 +314,8 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 			{"nwcq_page_cache_coalesced_total", "Cold reads coalesced by single-flight.", st.Coalesced},
 			{"nwcq_page_syncs_total", "Fsyncs of the page file (checkpoint cost).", st.Syncs},
 		} {
-			pw.header(c.name, "counter", c.help)
-			pw.value(c.name, nil, float64(c.v))
+			pw.Header(c.name, "counter", c.help)
+			pw.Value(c.name, nil, float64(c.v))
 		}
 	}
 	if d := ix.dur; d != nil {
@@ -314,87 +332,20 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 			{"nwcq_wal_checkpoints_total", "Checkpoints folding the log into the page file.", d.checkpoints.Load()},
 			{"nwcq_wal_records_replayed_total", "Records replayed during crash recovery at open.", d.replayed},
 		} {
-			pw.header(c.name, "counter", c.help)
-			pw.value(c.name, nil, float64(c.v))
+			pw.Header(c.name, "counter", c.help)
+			pw.Value(c.name, nil, float64(c.v))
 		}
-		pw.header("nwcq_wal_appended_lsn", "gauge", "Highest LSN appended to the log.")
-		pw.value("nwcq_wal_appended_lsn", nil, float64(d.log.AppendedLSN()))
-		pw.header("nwcq_wal_durable_lsn", "gauge", "Highest LSN known fsynced to stable storage.")
-		pw.value("nwcq_wal_durable_lsn", nil, float64(d.log.DurableLSN()))
+		pw.Header("nwcq_wal_appended_lsn", "gauge", "Highest LSN appended to the log.")
+		pw.Value("nwcq_wal_appended_lsn", nil, float64(d.log.AppendedLSN()))
+		pw.Header("nwcq_wal_durable_lsn", "gauge", "Highest LSN known fsynced to stable storage.")
+		pw.Value("nwcq_wal_durable_lsn", nil, float64(d.log.DurableLSN()))
 	}
-	return pw.err
+	return pw.Err
 }
 
-// labels is a flat name/value pair list ({"kind", "nwc"} renders as
-// {kind="nwc"}).
-type labels []string
-
-func (l labels) with(extra ...string) labels {
-	return append(append(labels{}, l...), extra...)
-}
-
-func (l labels) String() string {
-	if len(l) == 0 {
-		return ""
-	}
-	s := "{"
-	for i := 0; i+1 < len(l); i += 2 {
-		if i > 0 {
-			s += ","
-		}
-		s += l[i] + `="` + l[i+1] + `"`
-	}
-	return s + "}"
-}
-
-// promWriter emits Prometheus text-format lines, remembering the first
-// write error so call sites stay linear.
-type promWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (p *promWriter) printf(format string, args ...any) {
-	if p.err != nil {
-		return
-	}
-	_, p.err = fmt.Fprintf(p.w, format, args...)
-}
-
-func (p *promWriter) header(name, typ, help string) {
-	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-}
-
-func (p *promWriter) value(name string, l labels, v float64) {
-	p.printf("%s%s %s\n", name, l.String(), formatPromValue(v))
-}
-
-// histogram renders one histogram with Prometheus's cumulative buckets:
-// every _bucket line counts observations at or below its le bound, the
-// +Inf bucket equals _count.
-func (p *promWriter) histogram(name string, l labels, s metrics.HistogramSnapshot) {
-	cum := uint64(0)
-	for i, bound := range s.Bounds {
-		cum += s.Counts[i]
-		p.value(name+"_bucket", l.with("le", formatPromValue(bound)), float64(cum))
-	}
-	cum += s.Counts[len(s.Counts)-1]
-	p.value(name+"_bucket", l.with("le", "+Inf"), float64(cum))
-	p.value(name+"_sum", l, s.Sum)
-	p.value(name+"_count", l, float64(cum))
-}
-
-// formatPromValue renders a float the way Prometheus clients expect:
-// shortest round-trip representation, integers without an exponent.
-func formatPromValue(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-func sortedKeys(m map[string]uint64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+// The Prometheus text-format writer lives in internal/metrics (prom.go)
+// so the shard router's aggregated exposition shares one renderer.
+type (
+	labels     = metrics.Labels
+	promWriter = metrics.PromWriter
+)

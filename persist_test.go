@@ -77,11 +77,11 @@ func TestPagedInsertionBuild(t *testing.T) {
 	if !res.Found {
 		t.Fatal("nothing found")
 	}
-	groups, _, err := px.KNWC(KQuery{Query: Query{X: 500, Y: 500, Length: 120, Width: 120, N: 4}, K: 2, M: 0})
+	kres, err := px.KNWC(KQuery{Query: Query{X: 500, Y: 500, Length: 120, Width: 120, N: 4}, K: 2, M: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(groups) == 0 {
+	if len(kres.Groups) == 0 {
 		t.Error("paged kNWC empty")
 	}
 }

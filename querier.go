@@ -1,0 +1,87 @@
+package nwcq
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// Querier is the read-side API of an NWC backend. Both *Index (one
+// R*-tree over the whole object space) and *shard.Sharded (a
+// scatter-gather router over many Index shards) satisfy it, so servers,
+// CLIs and batch drivers can program against the capability instead of
+// the concrete engine.
+//
+// Every method is safe for unrestricted concurrent use, and the context
+// methods honour cancellation at node-visit granularity.
+type Querier interface {
+	// NWCCtx answers an NWC query under ctx.
+	NWCCtx(ctx context.Context, q Query) (Result, error)
+	// KNWCCtx answers a kNWC query under ctx.
+	KNWCCtx(ctx context.Context, q KQuery) (KResult, error)
+	// NWCBatchCtx answers many NWC queries concurrently; results are in
+	// input order and the first error aborts the batch.
+	NWCBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) ([]Result, error)
+	// KNWCBatchCtx is the kNWC batch form.
+	KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOptions) ([]KResult, error)
+	// Window runs a plain window (range) query.
+	Window(minX, minY, maxX, maxY float64) ([]Point, error)
+	// Nearest returns the k points nearest to (x, y), ascending by
+	// distance.
+	Nearest(x, y float64, k int) ([]Point, error)
+	// ExplainNWC answers an NWC query with per-query tracing enabled.
+	ExplainNWC(ctx context.Context, q Query) (Result, *QueryTrace, error)
+	// ExplainKNWC answers a kNWC query with tracing enabled.
+	ExplainKNWC(ctx context.Context, q KQuery) (KResult, *QueryTrace, error)
+	// Metrics returns the backend's aggregated observability snapshot.
+	// A sharded backend folds per-shard state into one snapshot.
+	Metrics() MetricsSnapshot
+	// WritePrometheus renders the same state in the Prometheus text
+	// exposition format.
+	WritePrometheus(w io.Writer) error
+}
+
+// Mutator is the write-side API of an NWC backend. Mutations are safe
+// to run concurrently with queries; batch forms are atomic per index
+// (a sharded backend is atomic per shard, not across shards).
+type Mutator interface {
+	Insert(p Point) error
+	Delete(p Point) (bool, error)
+	InsertBatch(pts []Point) error
+	DeleteBatch(pts []Point) ([]bool, error)
+	// Close releases whatever the backend holds open (page files, WAL
+	// segments). In-memory backends make it a no-op.
+	Close() error
+}
+
+// Introspector exposes the structural counters the /stats endpoint and
+// the CLIs report. Optional: servers degrade gracefully when a backend
+// does not provide it, but both *Index and *shard.Sharded do.
+type Introspector interface {
+	Len() int
+	TreeHeight() int
+	IOStats() uint64
+	StorageOverheadBytes() (gridBytes, iwpBytes int)
+}
+
+// SlowLogger exposes the slow-query log. Optional, like Introspector.
+type SlowLogger interface {
+	SlowQueryThreshold() time.Duration
+	SetSlowQueryThreshold(threshold time.Duration)
+	SlowQueries() []SlowQueryEntry
+}
+
+// Close releases the index. For the in-memory form it is a no-op kept
+// so *Index satisfies Mutator; PagedIndex overrides it with the real
+// checkpoint-and-release teardown.
+func (ix *Index) Close() error { return nil }
+
+// Compile-time interface checks for the single-index backend. The
+// sharded backend asserts the same set in internal/shard.
+var (
+	_ Querier      = (*Index)(nil)
+	_ Mutator      = (*Index)(nil)
+	_ Introspector = (*Index)(nil)
+	_ SlowLogger   = (*Index)(nil)
+	_ Mutator      = (*PagedIndex)(nil)
+)

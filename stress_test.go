@@ -60,7 +60,7 @@ func TestBatchStatsMatchSequential(t *testing.T) {
 				}
 				x, y := nrng.Float64()*1000, nrng.Float64()*1000
 				if seed%2 == 0 {
-					if _, _, err := idx.KNWC(KQuery{
+					if _, err := idx.KNWC(KQuery{
 						Query: Query{X: x, Y: y, Length: 70, Width: 70, N: 3},
 						K:     2, M: 1,
 					}); err != nil {
@@ -221,10 +221,10 @@ func TestValidationErrors(t *testing.T) {
 			t.Errorf("bad query %d: error %v is not a ValidationError", i, err)
 		}
 	}
-	if _, _, err := idx.KNWC(KQuery{Query: base, K: 0}); !errors.Is(err, ErrInvalidQuery) {
+	if _, err := idx.KNWC(KQuery{Query: base, K: 0}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("K=0 error = %v", err)
 	}
-	if _, _, err := idx.KNWC(KQuery{Query: base, K: 1, M: -1}); !errors.Is(err, ErrInvalidQuery) {
+	if _, err := idx.KNWC(KQuery{Query: base, K: 1, M: -1}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("M=-1 error = %v", err)
 	}
 	if _, err := idx.Window(10, 0, 0, 10); !errors.Is(err, ErrInvalidQuery) {
@@ -252,7 +252,7 @@ func TestIndexMetrics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := idx.KNWC(KQuery{Query: q, K: 2, M: 1}); err != nil {
+	if _, err := idx.KNWC(KQuery{Query: q, K: 2, M: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := idx.NWC(Query{N: 0}); err == nil {
