@@ -3,15 +3,17 @@ package nwcq
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"nwcq/internal/pool"
 )
 
 // Batch execution. Queries are safe under unrestricted concurrency, so
 // independent queries parallelise perfectly; this file provides the
-// fan-out boilerplate. Results are returned in input order, and every
-// result's Stats is exact for its own query — per-query accounting is
-// carried on query-private counters, never shared between workers.
+// fan-out boilerplate over the shared bounded worker pool
+// (internal/pool — the same pool the sharded router's scatter phase
+// uses). Results are returned in input order, and every result's Stats
+// is exact for its own query — per-query accounting is carried on
+// query-private counters, never shared between workers.
 // Each query in a batch pins its own view at entry, so a batch that
 // overlaps mutations may answer different queries against different
 // (each internally consistent) versions; IWP-scheme queries need no
@@ -27,16 +29,9 @@ import (
 
 // BatchOptions configures batch execution.
 type BatchOptions struct {
-	// Parallelism is the number of worker goroutines; 0 means
-	// GOMAXPROCS.
+	// Parallelism is the number of worker goroutines; 0 falls back to
+	// the index's WithParallelism setting, then GOMAXPROCS.
 	Parallelism int
-}
-
-func (o BatchOptions) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // NWCBatch answers many NWC queries concurrently. The i-th result
@@ -50,7 +45,7 @@ func (ix *Index) NWCBatch(queries []Query, opt BatchOptions) ([]Result, error) {
 // context's error.
 func (ix *Index) NWCBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) ([]Result, error) {
 	results := make([]Result, len(queries))
-	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
+	err := pool.Each(len(queries), ix.batchWorkers(opt), func(i int) error {
 		res, err := ix.NWCCtx(ctx, queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
@@ -74,7 +69,7 @@ func (ix *Index) KNWCBatch(queries []KQuery, opt BatchOptions) ([]KResult, error
 // cancellation semantics.
 func (ix *Index) KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOptions) ([]KResult, error) {
 	results := make([]KResult, len(queries))
-	err := forEachIndexed(len(queries), opt.workers(), func(i int) error {
+	err := pool.Each(len(queries), ix.batchWorkers(opt), func(i int) error {
 		res, err := ix.KNWCCtx(ctx, queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
@@ -86,62 +81,4 @@ func (ix *Index) KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOp
 		return nil, err
 	}
 	return results, nil
-}
-
-// forEachIndexed runs fn(0..n-1) over a bounded worker pool, returning
-// the first error encountered (remaining work is skipped, in-flight
-// calls finish).
-func forEachIndexed(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	claim := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := claim()
-				if !ok {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"nwcq/internal/pool"
 )
 
 func TestNWCBatchMatchesSequential(t *testing.T) {
@@ -131,14 +133,14 @@ func TestBatchAfterMutationRebuildsIWPOnce(t *testing.T) {
 	}
 }
 
-func TestForEachIndexedEdgeCases(t *testing.T) {
+func TestPoolEachEdgeCases(t *testing.T) {
 	// Zero items.
-	if err := forEachIndexed(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := pool.Each(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	// Exactly once per index.
 	seen := make([]int, 100)
-	err := forEachIndexed(100, 7, func(i int) error {
+	err := pool.Each(100, 7, func(i int) error {
 		seen[i]++
 		return nil
 	})

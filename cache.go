@@ -1,0 +1,142 @@
+package nwcq
+
+import (
+	"context"
+
+	"nwcq/internal/pool"
+	"nwcq/internal/qcache"
+	"nwcq/internal/rstar"
+)
+
+// Parallel execution and result caching knobs. The mechanics live in
+// internal/pool (the bounded worker pool every fan-out shares) and
+// internal/qcache (the single-flight generation cache); this file wires
+// them to the public Index.
+
+// WithParallelism sets the index's default worker-pool width for batch
+// execution (NWCBatch, KNWCBatch and their Ctx forms): how many queries
+// run concurrently when BatchOptions.Parallelism is zero. n <= 0 keeps
+// the default, GOMAXPROCS. A sharded deployment configures the router's
+// scatter width separately through shard.Options.Parallelism.
+func WithParallelism(n int) BuildOption {
+	return func(o *buildOptions) { o.parallelism = n }
+}
+
+// WithResultCache gives the index a query result cache of up to entries
+// results per query kind (NWC and kNWC are cached independently);
+// entries <= 0 disables caching (the default).
+//
+// Entries are keyed by the full query value plus the view generation
+// (ViewGeneration), so a cached result is served only while the exact
+// dataset version that produced it is still the published one — any
+// Insert or Delete invalidates the whole cache with a single generation
+// compare. Hits are zero-copy and allocation-free: the stored Result is
+// returned verbatim, including the Stats of the execution that produced
+// it (the hit itself visits no nodes, and index metrics record zero
+// visits for it). Duplicate concurrent identical queries coalesce onto
+// one execution. Explained queries and queries running under a shared
+// scatter bound bypass the cache.
+func WithResultCache(entries int) BuildOption {
+	return func(o *buildOptions) { o.resultCache = entries }
+}
+
+// ViewGeneration returns the generation number of the currently
+// published view: 1 for the freshly built or opened index, incremented
+// by every published mutation. It is monotone, so "has anything changed
+// since generation g" is one compare — the result cache's entire
+// invalidation protocol.
+func (ix *Index) ViewGeneration() uint64 { return ix.cur.Load().gen }
+
+// resultCache pairs the NWC and kNWC caches of one frontend. A nil
+// *resultCache means caching is off.
+type resultCache struct {
+	nwc  *qcache.Cache[Query, Result]
+	knwc *qcache.Cache[KQuery, KResult]
+}
+
+func newResultCache(entries int) *resultCache {
+	if entries <= 0 {
+		return nil
+	}
+	return &resultCache{
+		nwc:  qcache.New[Query, Result](entries),
+		knwc: qcache.New[KQuery, KResult](entries),
+	}
+}
+
+func (c *resultCache) stats() qcache.Stats {
+	return c.nwc.Stats().Add(c.knwc.Stats())
+}
+
+// metrics converts the summed cache counters into the public snapshot
+// form; a nil receiver (caching off) reports nil.
+func (c *resultCache) metrics() *ResultCacheMetrics {
+	if c == nil {
+		return nil
+	}
+	return resultCacheMetrics(c.stats())
+}
+
+// resultCacheMetrics converts qcache counters into the public form
+// (shared with the sharded router's exposition).
+func resultCacheMetrics(st qcache.Stats) *ResultCacheMetrics {
+	rc := &ResultCacheMetrics{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Coalesced:     st.Coalesced,
+		Invalidations: st.Invalidations,
+		Entries:       st.Entries,
+	}
+	if total := rc.Hits + rc.Misses; total > 0 {
+		rc.HitRate = float64(rc.Hits) / float64(total)
+	}
+	return rc
+}
+
+// nwcCached answers q through the result cache when one is configured,
+// reporting whether the answer was a hit. Queries carrying a shared
+// scatter bound bypass the cache entirely: a bounded execution may
+// legitimately elide groups at or beyond the global bound, so its
+// result must never be stored for (or served to) an unbounded caller.
+func (ix *Index) nwcCached(ctx context.Context, q Query) (Result, bool, error) {
+	c := ix.cache
+	if c == nil || rstar.BoundFromContext(ctx) != nil {
+		res, err := ix.nwc(ctx, q, nil)
+		return res, false, err
+	}
+	gen := ix.ViewGeneration()
+	if res, ok := c.nwc.Get(gen, q); ok {
+		return res, true, nil
+	}
+	res, err := c.nwc.Do(ctx, gen, q, func() (Result, error) {
+		return ix.nwc(ctx, q, nil)
+	})
+	return res, false, err
+}
+
+// knwcCached is nwcCached for kNWC queries.
+func (ix *Index) knwcCached(ctx context.Context, q KQuery) (KResult, bool, error) {
+	c := ix.cache
+	if c == nil || rstar.BoundFromContext(ctx) != nil {
+		res, err := ix.knwc(ctx, q, nil)
+		return res, false, err
+	}
+	gen := ix.ViewGeneration()
+	if res, ok := c.knwc.Get(gen, q); ok {
+		return res, true, nil
+	}
+	res, err := c.knwc.Do(ctx, gen, q, func() (KResult, error) {
+		return ix.knwc(ctx, q, nil)
+	})
+	return res, false, err
+}
+
+// batchWorkers resolves the worker count for one batch call: the
+// per-call option wins, then the index's WithParallelism default, then
+// GOMAXPROCS.
+func (ix *Index) batchWorkers(opt BatchOptions) int {
+	if opt.Parallelism > 0 {
+		return opt.Parallelism
+	}
+	return pool.Workers(ix.options.parallelism)
+}

@@ -5,6 +5,8 @@
 //	nwcserve -data ca.csv -addr :8080 -slowlog 100ms
 //	nwcserve -data ca.csv -index ca.nwc        # paged, WAL-protected
 //	nwcserve -index ca.nwc                     # reopen (crash recovery)
+//	nwcserve -data ca.csv -shards 4 -parallelism 4 -result-cache 1024
+
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8'
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8&explain=1'
 //	curl 'localhost:8080/knwc?x=5000&y=5000&l=50&w=50&n=8&k=3&m=1'
@@ -51,6 +53,8 @@ func main() {
 		data        = flag.String("data", "", "CSV dataset file (x,y[,id] per line)")
 		index       = flag.String("index", "", "page file for a disk-backed index: reopened if it exists (replaying its WAL), else built from -data; with -shards > 1, a directory of per-shard page files")
 		shards      = flag.Int("shards", 1, "spatial shards: 1 serves a single index, > 1 a scatter-gather router over a grid partition")
+		parallelism = flag.Int("parallelism", 0, "query worker-pool width: scatter fan-out over shards and batch execution (0 = GOMAXPROCS, 1 = sequential)")
+		resultCache = flag.Int("result-cache", 0, "query result cache entries per query kind, invalidated by any mutation (0 disables)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		bulk        = flag.Bool("bulk", true, "bulk-load the index")
 		slowlog     = flag.Duration("slowlog", 0, "slow-query log threshold (0 disables), e.g. 100ms")
@@ -84,7 +88,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	qr, mu, closeIndex, err := openBackend(logger, *data, *index, *shards, opts)
+	qr, mu, closeIndex, err := openBackend(logger, *data, *index, *shards, *parallelism, *resultCache, opts)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -145,10 +149,14 @@ func main() {
 // (reopened if the file exists, built from data otherwise), in-memory
 // built from data when it is not. The returned func releases whatever
 // was opened.
-func openBackend(logger *slog.Logger, data, indexPath string, shards int, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
+func openBackend(logger *slog.Logger, data, indexPath string, shards, parallelism, resultCache int, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
 	if shards > 1 {
-		return openSharded(logger, data, indexPath, shards, opts)
+		// The router owns the scatter width and the (single, top-level)
+		// result cache; the per-shard build options deliberately get
+		// neither, so shard-local caches never duplicate the router's.
+		return openSharded(logger, data, indexPath, shards, parallelism, resultCache, opts)
 	}
+	opts = append(opts, nwcq.WithParallelism(parallelism), nwcq.WithResultCache(resultCache))
 	idx, closer, err := openIndex(logger, data, indexPath, opts)
 	if err != nil {
 		return nil, nil, nil, err
@@ -159,11 +167,11 @@ func openBackend(logger *slog.Logger, data, indexPath string, shards int, opts [
 // openSharded serves -shards > 1: reopen the shard directory if its
 // manifest exists, else build the partition from -data (on disk when
 // indexPath names the directory, in memory otherwise).
-func openSharded(logger *slog.Logger, data, indexPath string, shards int, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
+func openSharded(logger *slog.Logger, data, indexPath string, shards, parallelism, resultCache int, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
 	started := time.Now()
 	if indexPath != "" {
 		if _, err := os.Stat(filepath.Join(indexPath, "manifest.json")); err == nil {
-			sh, err := shard.OpenSharded(indexPath, shard.Options{Build: opts})
+			sh, err := shard.OpenSharded(indexPath, shard.Options{Build: opts, Parallelism: parallelism, ResultCache: resultCache})
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -187,7 +195,7 @@ func openSharded(logger *slog.Logger, data, indexPath string, shards int, opts [
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sh, err := shard.NewSharded(pts, shard.Options{Shards: shards, Dir: indexPath, Build: opts})
+	sh, err := shard.NewSharded(pts, shard.Options{Shards: shards, Dir: indexPath, Build: opts, Parallelism: parallelism, ResultCache: resultCache})
 	if err != nil {
 		return nil, nil, nil, err
 	}

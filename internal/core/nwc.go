@@ -43,6 +43,27 @@ func (e *Engine) NWCCtx(ctx context.Context, qy Query, scheme Scheme, measure Me
 // decisions to algorithm phases on it. A nil rec costs the query path
 // one nil-check branch per instrumentation point and nothing else.
 func (e *Engine) NWCTrace(ctx context.Context, qy Query, scheme Scheme, measure Measure, rec *trace.Recorder) (Result, Stats, error) {
+	return e.NWCBounded(ctx, qy, scheme, measure, rec, nil)
+}
+
+// NWCBounded is NWCTrace with a cooperative shared bound. When sb is
+// non-nil, every pruning decision (SRR, DIP, DEP, the window MINDIST
+// gate) tests against min(local best, shared cell) — so a bound found
+// by any concurrent search over another partition of the dataset
+// shrinks this traversal's frontier at node-visit granularity — and
+// every local improvement is published back into the cell.
+//
+// Sharing is sound for the single-best NWC search because the cell is
+// monotone non-increasing and always at least the final global best B:
+// a group pruned against it has distance ≥ B, so only non-answers are
+// skipped, and the search that discovers the globally best group can
+// never see a cell value below that group's distance before emitting
+// it (every other group is at least as far). The result's Found/Dist
+// therefore still describe the best group over this engine's own data,
+// except that groups at distance ≥ the global bound may be elided —
+// exactly the ones a scatter-gather merge discards anyway. See
+// DESIGN.md §12.
+func (e *Engine) NWCBounded(ctx context.Context, qy Query, scheme Scheme, measure Measure, rec *trace.Recorder, sb *rstar.SharedBound) (Result, Stats, error) {
 	if err := qy.Validate(); err != nil {
 		return Result{}, Stats{}, err
 	}
@@ -54,15 +75,30 @@ func (e *Engine) NWCTrace(ctx context.Context, qy Query, scheme Scheme, measure 
 	}
 	best := Group{Dist: math.Inf(1)}
 	found := false
-	stats, err := e.search(ctx, qy, scheme,
-		func() float64 { return best.Dist },
-		func(g Group) {
+	bound := func() float64 { return best.Dist }
+	emit := func(g Group) {
+		if g.Dist < best.Dist {
+			best = g
+			found = true
+		}
+	}
+	if sb != nil {
+		bound = func() float64 {
+			b := best.Dist
+			if g := sb.Load(); g < b {
+				b = g
+			}
+			return b
+		}
+		emit = func(g Group) {
 			if g.Dist < best.Dist {
 				best = g
 				found = true
+				sb.Tighten(g.Dist)
 			}
-		},
-		measure, rec)
+		}
+	}
+	stats, err := e.search(ctx, qy, scheme, bound, emit, measure, rec, sb)
 	if err != nil {
 		return Result{}, stats, err
 	}
@@ -138,10 +174,10 @@ func (pq *pqueue) pop() pqItem {
 // concurrent searches never share a mutable counter. The reader also
 // checks ctx before every node read, giving cancellation at node-visit
 // granularity.
-func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure, rec *trace.Recorder) (Stats, error) {
+func (e *Engine) search(ctx context.Context, qy Query, scheme Scheme, bound func() float64, emit func(Group), measure Measure, rec *trace.Recorder, sb *rstar.SharedBound) (Stats, error) {
 	var st Stats
 	q, l, w, n := qy.Q, qy.L, qy.W, qy.N
-	r := e.tree.Reader(ctx, &st.NodeVisits).WithTrace(rec)
+	r := e.tree.Reader(ctx, &st.NodeVisits).WithTrace(rec).WithBound(sb)
 
 	// Working memory (heap, candidate buffer, selection scratch) is
 	// borrowed from a pool: under batch load the steady state allocates

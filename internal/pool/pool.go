@@ -1,0 +1,78 @@
+// Package pool provides the bounded worker pool every fan-out path
+// shares: batch execution on all backends, the sharded router's scatter
+// phase, and its border/certify fetch passes. One implementation keeps
+// the claim/fail semantics identical everywhere.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob: n itself when positive,
+// GOMAXPROCS otherwise.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Each runs fn(0..n-1) over a bounded worker pool, returning the first
+// error (remaining work is skipped, in-flight calls finish). With one
+// worker (or one item) it degenerates to a plain loop on the calling
+// goroutine — no goroutines, no locks, no allocations.
+func Each(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

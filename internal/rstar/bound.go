@@ -1,0 +1,92 @@
+package rstar
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+)
+
+// SharedBound is an atomic distance cell cooperating best-first searches
+// publish their best result distance into and prune against. It lifts
+// the paper's bound B out of a single traversal: when N searches run
+// concurrently over disjoint partitions of one dataset (the sharded
+// scatter phase), a tight bound found by any of them immediately
+// shrinks every other one's frontier.
+//
+// The cell is monotone non-increasing: Tighten only ever lowers it, so
+// a reader observes a value at least as large as the final bound. That
+// is exactly the property the pruning rules need — pruning against a
+// stale (larger) value is merely conservative, never wrong. See
+// DESIGN.md §12 for the per-rule safety argument.
+//
+// The value is stored as IEEE 754 bits in a uint64 and updated with a
+// compare-and-swap min loop; all methods are safe for unrestricted
+// concurrent use and allocation-free. Use NewSharedBound: the zero
+// value reads as bound 0, which prunes everything.
+type SharedBound struct {
+	bits atomic.Uint64
+	// tightenings counts successful Tighten calls — how often one
+	// search's discovery shrank the shared frontier.
+	tightenings atomic.Uint64
+}
+
+// NewSharedBound returns a cell initialised to +Inf (no bound yet).
+func NewSharedBound() *SharedBound {
+	b := &SharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the current bound. It is one atomic load; callers may
+// read it as often as node-visit granularity.
+func (b *SharedBound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Tighten lowers the bound to d if d improves on it, reporting whether
+// it did. NaN is ignored. The CAS loop makes concurrent tightenings
+// settle on the minimum regardless of arrival order.
+func (b *SharedBound) Tighten(d float64) bool {
+	if math.IsNaN(d) {
+		return false
+	}
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= d {
+			return false
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(d)) {
+			b.tightenings.Add(1)
+			return true
+		}
+	}
+}
+
+// Tightenings returns how many Tighten calls improved the bound.
+func (b *SharedBound) Tightenings() uint64 {
+	return b.tightenings.Load()
+}
+
+// boundKey carries a SharedBound through a context so the sharded
+// router can hand its scatter workers a shared cell without widening
+// the public Querier interface.
+type boundKey struct{}
+
+// ContextWithBound returns a context carrying sb. Queries started under
+// it join the cooperative bound; sb == nil returns ctx unchanged.
+func ContextWithBound(ctx context.Context, sb *SharedBound) context.Context {
+	if sb == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, boundKey{}, sb)
+}
+
+// BoundFromContext extracts the shared bound from ctx, nil when the
+// query runs alone.
+func BoundFromContext(ctx context.Context) *SharedBound {
+	if ctx == nil {
+		return nil
+	}
+	sb, _ := ctx.Value(boundKey{}).(*SharedBound)
+	return sb
+}

@@ -29,6 +29,11 @@ type Reader struct {
 	ctx    context.Context
 	visits *uint64
 	rec    *trace.Recorder
+	// bound is the cooperative shared distance bound, nil for solo
+	// queries. It rides on the reader — next to the visit counter — so
+	// every layer that holds a reader can consult the live global bound
+	// without extra plumbing.
+	bound *SharedBound
 }
 
 // Reader returns a read handle for one query. ctx may be nil, meaning
@@ -49,6 +54,20 @@ func (r Reader) WithTrace(rec *trace.Recorder) Reader {
 // tracing is off. Cooperating traversals (IWP's window queries) use it
 // to record their own decisions against the same trace.
 func (r Reader) Recorder() *trace.Recorder { return r.rec }
+
+// WithBound returns a copy of the reader carrying a cooperative shared
+// distance bound. sb may be nil (no sharing), costing the read path
+// nothing; with a cell attached, pruning code that consults the
+// reader's bound sees every other cooperating search's improvements at
+// node-visit granularity.
+func (r Reader) WithBound(sb *SharedBound) Reader {
+	r.bound = sb
+	return r
+}
+
+// SharedBound returns the cooperative bound cell attached to this
+// reader, nil when the query runs alone.
+func (r Reader) SharedBound() *SharedBound { return r.bound }
 
 // Tree returns the tree this reader reads.
 func (r Reader) Tree() *Tree { return r.t }

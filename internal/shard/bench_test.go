@@ -69,3 +69,71 @@ func BenchmarkShardedScatterGather(b *testing.B) {
 		sh.Close()
 	}
 }
+
+// BenchmarkShardedParallel measures routed NWC latency across shard
+// counts × scatter widths × cache temperature. par=1 is the sequential
+// path (the no-regression baseline against the pre-parallel router);
+// wider settings exercise the cooperative shared bound (boundtighten/op
+// reports how often in-flight traversals improved it — the cooperation
+// the clustered dataset is built to provoke). cache=hot replays one
+// query so every iteration after the first is a result-cache hit;
+// cache=cold disables the cache. Note: on a single-CPU runner
+// (GOMAXPROCS=1) parallel widths measure coordination overhead, not
+// speedup.
+func BenchmarkShardedParallel(b *testing.B) {
+	const nPoints = 20_000
+	rng := rand.New(rand.NewSource(103))
+	pts := make([]nwcq.Point, nPoints)
+	for i := range pts {
+		var x, y float64
+		if i%10 < 7 {
+			x, y = rng.Float64()*150, rng.Float64()*150
+		} else {
+			x, y = rng.Float64()*1000, rng.Float64()*1000
+		}
+		pts[i] = nwcq.Point{X: x, Y: y, ID: uint64(i + 1)}
+	}
+	spaceRect := nwcq.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+
+	for _, shards := range []int{2, 4} {
+		for _, par := range []int{1, 2, 4} {
+			for _, cache := range []struct {
+				name    string
+				entries int
+			}{{"cold", 0}, {"hot", 4096}} {
+				sh, err := NewSharded(pts, Options{
+					Shards: shards, Space: spaceRect,
+					Parallelism: par, ResultCache: cache.entries,
+					Build: []nwcq.BuildOption{nwcq.WithBulkLoad()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Run(fmt.Sprintf("shards=%d/par=%d/cache=%s", shards, par, cache.name), func(b *testing.B) {
+					qrng := rand.New(rand.NewSource(7))
+					before := sh.RouterStats()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						var x, y float64
+						if cache.entries > 0 {
+							// Hot: one repeated query; every iteration past
+							// the first is a hit.
+							x, y = 80, 80
+						} else {
+							x, y = qrng.Float64()*140, qrng.Float64()*140
+						}
+						if _, err := sh.NWC(nwcq.Query{X: x, Y: y, Length: 20, Width: 20, N: 6}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					after := sh.RouterStats()
+					b.ReportMetric(float64(after.BoundTightenings-before.BoundTightenings)/float64(b.N), "boundtighten/op")
+					b.ReportMetric(float64(after.ShardsPruned-before.ShardsPruned)/float64(b.N), "shardspruned/op")
+				})
+				sh.Close()
+			}
+		}
+	}
+}

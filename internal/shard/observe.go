@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"nwcq"
@@ -49,6 +50,12 @@ type routerMetrics struct {
 	borderFetches metrics.Counter
 	borderPoints  metrics.Counter
 	fetchReruns   metrics.Counter
+	// boundTightenings counts improvements published to the shared
+	// scatter bound cell — evidence the parallel workers cooperated.
+	boundTightenings metrics.Counter
+	// inflight gauges shard queries currently running in scatter
+	// workers (zero on the sequential path).
+	inflight atomic.Int64
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -104,16 +111,21 @@ type RouterStats struct {
 	// FetchReruns counts kNWC certification retries: fetch-bound
 	// doublings needed before the merged answer was provably exact.
 	FetchReruns uint64
+	// BoundTightenings counts improvements published to the shared
+	// scatter bound cell by in-flight shard traversals (parallel
+	// execution only).
+	BoundTightenings uint64
 }
 
 // RouterStats returns the scatter-gather routing counters.
 func (s *Sharded) RouterStats() RouterStats {
 	return RouterStats{
-		ShardQueries:  s.obs.shardQueries.Value(),
-		ShardsPruned:  s.obs.shardsPruned.Value(),
-		BorderFetches: s.obs.borderFetches.Value(),
-		BorderPoints:  s.obs.borderPoints.Value(),
-		FetchReruns:   s.obs.fetchReruns.Value(),
+		ShardQueries:     s.obs.shardQueries.Value(),
+		ShardsPruned:     s.obs.shardsPruned.Value(),
+		BorderFetches:    s.obs.borderFetches.Value(),
+		BorderPoints:     s.obs.borderPoints.Value(),
+		FetchReruns:      s.obs.fetchReruns.Value(),
+		BoundTightenings: s.obs.boundTightenings.Value(),
 	}
 }
 
@@ -202,12 +214,29 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 	out.WAL = wal
 	rs := s.RouterStats()
 	out.Router = &nwcq.RouterMetrics{
-		Shards:        len(s.shards),
-		ShardQueries:  rs.ShardQueries,
-		ShardsPruned:  rs.ShardsPruned,
-		BorderFetches: rs.BorderFetches,
-		BorderPoints:  rs.BorderPoints,
-		FetchReruns:   rs.FetchReruns,
+		Shards:           len(s.shards),
+		ShardQueries:     rs.ShardQueries,
+		ShardsPruned:     rs.ShardsPruned,
+		BorderFetches:    rs.BorderFetches,
+		BorderPoints:     rs.BorderPoints,
+		FetchReruns:      rs.FetchReruns,
+		Parallelism:      s.parallelism(),
+		InflightWorkers:  m.inflight.Load(),
+		BoundTightenings: rs.BoundTightenings,
+	}
+	if c := s.rcache; c != nil {
+		st := c.stats()
+		rc := &nwcq.ResultCacheMetrics{
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Coalesced:     st.Coalesced,
+			Invalidations: st.Invalidations,
+			Entries:       st.Entries,
+		}
+		if total := rc.Hits + rc.Misses; total > 0 {
+			rc.HitRate = float64(rc.Hits) / float64(total)
+		}
+		out.ResultCache = rc
 	}
 	return out
 }
@@ -268,9 +297,31 @@ func (s *Sharded) WritePrometheus(w io.Writer) error {
 		{"nwcq_border_fetches_total", "Border-fetch passes for boundary-straddling windows.", rs.BorderFetches},
 		{"nwcq_border_points_total", "Candidate points collected by border fetches.", rs.BorderPoints},
 		{"nwcq_fetch_reruns_total", "kNWC certification reruns (fetch-bound doublings).", rs.FetchReruns},
+		{"nwcq_bound_tightenings_total", "Shared-bound improvements published by in-flight shard traversals.", rs.BoundTightenings},
 	} {
 		pw.Header(c.name, "counter", c.help)
 		pw.Value(c.name, nil, float64(c.v))
+	}
+	pw.Header("nwcq_parallel_workers", "gauge", "Configured scatter worker width (resolved; GOMAXPROCS when unset).")
+	pw.Value("nwcq_parallel_workers", nil, float64(s.parallelism()))
+	pw.Header("nwcq_parallel_inflight", "gauge", "Shard queries currently running in scatter workers.")
+	pw.Value("nwcq_parallel_inflight", nil, float64(m.inflight.Load()))
+	if c := s.rcache; c != nil {
+		st := c.stats()
+		for _, cc := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"nwcq_result_cache_hits_total", "Query result cache hits.", st.Hits},
+			{"nwcq_result_cache_misses_total", "Query result cache misses (including stale-generation bypasses).", st.Misses},
+			{"nwcq_result_cache_coalesced_total", "Lookups that shared another caller's in-flight computation.", st.Coalesced},
+			{"nwcq_result_cache_invalidations_total", "Generation advances that dropped the cached entries.", st.Invalidations},
+		} {
+			pw.Header(cc.name, "counter", cc.help)
+			pw.Value(cc.name, nil, float64(cc.v))
+		}
+		pw.Header("nwcq_result_cache_entries", "gauge", "Entries currently cached (including in-flight computations).")
+		pw.Value("nwcq_result_cache_entries", nil, float64(st.Entries))
 	}
 
 	// Summed storage families, same names as the single-index export so

@@ -1,0 +1,325 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nwcq"
+	"nwcq/internal/core"
+	"nwcq/internal/geom"
+	wpool "nwcq/internal/pool"
+)
+
+// TestParallelMatchesSequentialAllSchemes is the parallel-execution
+// acceptance test: on a boundary-straddling dataset, the parallel
+// scatter (cooperative shared bound, claim-time pruning) must produce
+// exactly the sequential router's answer — which in turn must equal the
+// brute-force oracle — for all 16 scheme combinations, all four
+// measures, NWC and kNWC.
+func TestParallelMatchesSequentialAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pts := straddlePoints(rng, 90)
+	sh, err := NewSharded(pts, Options{Shards: 4, Space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	cpts := corePoints(pts)
+
+	queries := []struct {
+		x, y, l, w float64
+		n          int
+	}{
+		{50, 50, 6, 6, 4},   // centred on the 4-corner
+		{48, 20, 5, 4, 3},   // near the vertical boundary
+		{20, 51, 4, 5, 3},   // near the horizontal boundary
+		{10, 10, 8, 8, 5},   // interior of shard 0
+		{90, 90, 12, 12, 6}, // interior of the far shard
+	}
+	for _, m := range allMeasures {
+		cm := coreMeasure(t, m)
+		for qi, qq := range queries {
+			oracle := core.BruteForceNWC(cpts,
+				core.Query{Q: geom.Point{X: qq.x, Y: qq.y}, L: qq.l, W: qq.w, N: qq.n}, cm)
+			kOracle := core.BruteForceKNWC(cpts, core.KNWCQuery{
+				Query: core.Query{Q: geom.Point{X: qq.x, Y: qq.y}, L: qq.l, W: qq.w, N: qq.n},
+				K:     3, M: 1,
+			}, cm)
+			for _, sc := range allSchemes() {
+				q := nwcq.Query{X: qq.x, Y: qq.y, Length: qq.l, Width: qq.w, N: qq.n, Scheme: sc, Measure: m}
+				label := sc.String() + "/" + m.String()
+
+				sh.SetParallelism(1)
+				seq, err := sh.NWC(q)
+				if err != nil {
+					t.Fatalf("q%d %s sequential: %v", qi, label, err)
+				}
+				sh.SetParallelism(4)
+				par, err := sh.NWC(q)
+				if err != nil {
+					t.Fatalf("q%d %s parallel: %v", qi, label, err)
+				}
+				nwcAgree(t, "par/"+label, par, seq)
+				if par.Found != oracle.Found ||
+					(par.Found && math.Abs(par.Dist-oracle.Group.Dist) > distEps) {
+					t.Fatalf("q%d %s: parallel dist %v/%g, oracle %v/%g",
+						qi, label, par.Found, par.Dist, oracle.Found, oracle.Group.Dist)
+				}
+
+				kq := nwcq.KQuery{Query: q, K: 3, M: 1}
+				kpar, err := sh.KNWC(kq)
+				if err != nil {
+					t.Fatalf("q%d %s parallel kNWC: %v", qi, label, err)
+				}
+				knwcAgree(t, "kpar/"+label, kpar, kOracle)
+			}
+		}
+	}
+}
+
+// TestParallelBoundTightenings verifies the cooperative-bound plumbing
+// actually fires: on clustered data with parallel workers, in-flight
+// shard traversals must publish improvements to the shared cell.
+func TestParallelBoundTightenings(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	pts := straddlePoints(rng, 200)
+	sh, err := NewSharded(pts, Options{Shards: 4, Space: space, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for i := 0; i < 10; i++ {
+		q := nwcq.Query{X: 40 + rng.Float64()*20, Y: 40 + rng.Float64()*20, Length: 8, Width: 8, N: 3}
+		if _, err := sh.NWC(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs := sh.RouterStats(); rs.BoundTightenings == 0 {
+		t.Fatalf("parallel scatter never tightened the shared bound: %+v", rs)
+	}
+}
+
+// TestSingleShardAutomaticFallback verifies that a single-shard router
+// takes the sequential path no matter how wide the configured pool is:
+// the parallel machinery (shared cell, workers) must not engage, so its
+// tightenings counter stays zero.
+func TestSingleShardAutomaticFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	pts := straddlePoints(rng, 80)
+	sh, err := NewSharded(pts, Options{Shards: 1, Space: space, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := sh.NWC(nwcq.Query{X: 50, Y: 50, Length: 10, Width: 10, N: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs := sh.RouterStats(); rs.BoundTightenings != 0 {
+		t.Fatalf("single-shard router engaged the parallel path: %+v", rs)
+	}
+}
+
+// TestPoolSequentialPathZeroAllocs pins the fallback's cost: with one
+// worker the shared pool is a plain loop — no goroutines, no locks, no
+// allocations.
+func TestPoolSequentialPathZeroAllocs(t *testing.T) {
+	n := 0
+	fn := func(int) error { n++; return nil }
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := wpool.Each(64, 1, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sequential pool path allocated %.1f per call, want 0", allocs)
+	}
+}
+
+// TestParallelExplainTrace exercises the explain collector under
+// concurrent scatter workers (-race) and checks the merged trace still
+// carries every shard's phases.
+func TestParallelExplainTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	pts := straddlePoints(rng, 120)
+	sh, err := NewSharded(pts, Options{Shards: 4, Space: space, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	res, tr, err := sh.ExplainNWC(context.Background(), nwcq.Query{X: 50, Y: 50, Length: 8, Width: 8, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no group found on straddle data")
+	}
+	if tr == nil || len(tr.Phases) == 0 {
+		t.Fatalf("empty merged trace: %+v", tr)
+	}
+	// Phases must be shard-ordered and stable under parallel scatter.
+	last := ""
+	for _, p := range tr.Phases {
+		if p.Phase < last && p.Phase != "border-fetch" {
+			t.Fatalf("phases out of shard order: %q after %q", p.Phase, last)
+		}
+		if p.Phase != "border-fetch" {
+			last = p.Phase[:7] // "shardN:" prefix
+		}
+	}
+}
+
+// TestRouterCacheCoalescingUnderMutations is the router-level -race
+// stress: concurrent identical queries coalescing on the result cache,
+// interleaved with inserts that publish new shard views. After the last
+// publish, a fresh query must observe the inserted group — a stale hit
+// across the generation sum would make it invisible.
+func TestRouterCacheCoalescingUnderMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	pts := straddlePoints(rng, 150)
+	sh, err := NewSharded(pts, Options{Shards: 4, Space: space, Parallelism: 4, ResultCache: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	ctx := context.Background()
+
+	// A tight query on an (initially empty) corner of shard 3.
+	q := nwcq.Query{X: 97, Y: 97, Length: 2, Width: 2, N: 2}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sh.NWCCtx(ctx, q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		if err := sh.Insert(nwcq.Point{X: 97, Y: 97, ID: 500001}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sh.Insert(nwcq.Point{X: 97.5, Y: 97.5, ID: 500002}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Churn more generations while readers hammer the cache.
+		for i := 0; i < 100; i++ {
+			p := nwcq.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100, ID: uint64(510000 + i)}
+			if err := sh.Insert(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	res, err := sh.NWCCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("inserted group invisible after publishes (stale router cache?)")
+	}
+	if sh.rcache == nil {
+		t.Fatal("router cache not constructed")
+	}
+	if st := sh.rcache.stats(); st.Hits+st.Misses == 0 {
+		t.Fatalf("cache never consulted: %+v", st)
+	}
+}
+
+// TestRouterCacheHitIsExact verifies a router cache hit returns the
+// identical answer and shows up in the metrics snapshot.
+func TestRouterCacheHitIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	pts := straddlePoints(rng, 100)
+	sh, err := NewSharded(pts, Options{Shards: 4, Space: space, ResultCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	q := nwcq.Query{X: 50, Y: 50, Length: 8, Width: 8, N: 3}
+	first, err := sh.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sh.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwcAgree(t, "cache-hit", second, first)
+
+	kq := nwcq.KQuery{Query: q, K: 2, M: 1}
+	kfirst, err := sh.KNWC(kq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksecond, err := sh.KNWC(kq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ksecond.Groups) != len(kfirst.Groups) {
+		t.Fatalf("kNWC hit diverged: %d vs %d groups", len(ksecond.Groups), len(kfirst.Groups))
+	}
+
+	snap := sh.Metrics()
+	if snap.ResultCache == nil || snap.ResultCache.Hits == 0 {
+		t.Fatalf("metrics missing cache hits: %+v", snap.ResultCache)
+	}
+	if snap.Router == nil || snap.Router.Parallelism < 1 {
+		t.Fatalf("metrics missing parallelism: %+v", snap.Router)
+	}
+}
+
+// TestParallelBatchMatchesSequentialBatch runs the routed batch forms
+// at both widths and cross-checks them.
+func TestParallelBatchMatchesSequentialBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts := straddlePoints(rng, 120)
+	sh, err := NewSharded(pts, Options{Shards: 4, Space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	queries := make([]nwcq.Query, 24)
+	for i := range queries {
+		queries[i] = nwcq.Query{
+			X: rng.Float64() * 100, Y: rng.Float64() * 100,
+			Length: 5 + rng.Float64()*8, Width: 5 + rng.Float64()*8,
+			N: 2 + rng.Intn(3),
+		}
+	}
+	seq, err := sh.NWCBatch(queries, nwcq.BatchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sh.NWCBatch(queries, nwcq.BatchOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if par[i].Found != seq[i].Found ||
+			(seq[i].Found && math.Abs(par[i].Dist-seq[i].Dist) > distEps) {
+			t.Fatalf("batch query %d: parallel %+v, sequential %+v", i, par[i], seq[i])
+		}
+	}
+}

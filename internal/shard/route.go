@@ -4,14 +4,17 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"nwcq"
 	"nwcq/internal/core"
 	"nwcq/internal/geom"
+	wpool "nwcq/internal/pool"
+	"nwcq/internal/rstar"
 )
 
 // Query routing. The plan for both NWC and kNWC is:
@@ -20,7 +23,16 @@ import (
 //     containing q) to seed a distance bound, then on the remaining
 //     shards in ascending MINDIST(q, shard bounds) order, skipping any
 //     shard whose MINDIST exceeds the current bound — the paper's
-//     best-first node pruning lifted to shard granularity.
+//     best-first node pruning lifted to shard granularity. With
+//     Options.Parallelism above one, workers claim shards off that
+//     schedule concurrently and cooperate through a shared atomic bound
+//     cell: for NWC, every in-flight shard traversal prunes against the
+//     live global bound (threaded through rstar.Reader into SRR/DIP/DEP
+//     at node-visit granularity) and publishes its improvements back;
+//     still-queued shards whose MINDIST exceeds the cell are cancelled
+//     at claim time. kNWC shares its merge estimate at claim
+//     granularity only — see scatterKNWC for why engine-level sharing
+//     would be unsound there.
 //  2. Border: local answers are exact for groups drawn from one
 //     shard's points, but a window straddling a shard boundary can
 //     cluster points no single shard holds together. Every group with
@@ -40,7 +52,12 @@ import (
 //     with the k-th at most D; otherwise double D and rerun. The local
 //     chains only seed D — correctness never depends on them.
 //
-// See DESIGN.md §11 for the containment proofs.
+// The border and certify fetches fan their per-shard window queries out
+// over the same worker pool, with per-shard results concatenated in
+// shard order so the candidate enumeration stays deterministic.
+//
+// See DESIGN.md §11 for the containment proofs and §12 for the
+// shared-bound safety argument.
 
 // measureOf maps the public measure onto the core engine's.
 func measureOf(m nwcq.Measure) (core.Measure, error) {
@@ -122,22 +139,37 @@ func fetchBox(q nwcq.Query, d float64) geom.Rect {
 }
 
 // fetchPoints collects every indexed point inside fetch from the shards
-// whose bounds intersect it, returning the points and how many shards
-// contributed. Bounds cover all of a shard's points (including
-// outliers), so skipped shards provably hold nothing inside fetch.
+// whose bounds intersect it. Bounds cover all of a shard's points
+// (including outliers), so skipped shards provably hold nothing inside
+// fetch. With parallelism above one the per-shard window queries fan
+// out over the worker pool; results are concatenated in shard order
+// either way, so the fetched sequence is deterministic.
 func (s *Sharded) fetchPoints(bounds []geom.Rect, fetch geom.Rect) ([]geom.Point, error) {
-	var out []geom.Point
-	for i, ix := range s.shards {
-		if !bounds[i].Intersects(fetch) {
-			continue
+	idxs := make([]int, 0, len(s.shards))
+	for i := range s.shards {
+		if bounds[i].Intersects(fetch) {
+			idxs = append(idxs, i)
 		}
-		pts, err := ix.Window(fetch.MinX, fetch.MinY, fetch.MaxX, fetch.MaxY)
+	}
+	parts := make([][]geom.Point, len(idxs))
+	err := wpool.Each(len(idxs), s.scatterWorkers(len(idxs)), func(j int) error {
+		pts, err := s.shards[idxs[j]].Window(fetch.MinX, fetch.MinY, fetch.MaxX, fetch.MaxY)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, p := range pts {
-			out = append(out, geom.Point{X: p.X, Y: p.Y, ID: p.ID})
+		part := make([]geom.Point, len(pts))
+		for k, p := range pts {
+			part[k] = geom.Point{X: p.X, Y: p.Y, ID: p.ID}
 		}
+		parts[j] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []geom.Point
+	for _, part := range parts {
+		out = append(out, part...)
 	}
 	s.obs.borderFetches.Inc()
 	s.obs.borderPoints.Add(uint64(len(out)))
@@ -172,17 +204,41 @@ func (s *Sharded) NWC(q nwcq.Query) (nwcq.Result, error) {
 
 // NWCCtx answers an NWC query by scatter-gather over the shards. The
 // result equals the single-index answer on the same points for every
-// scheme and measure; Stats sums the per-shard work.
+// scheme and measure; Stats sums the per-shard work. With a result
+// cache configured (Options.ResultCache) the answer may be served from
+// a previous identical query against the same dataset version.
 func (s *Sharded) NWCCtx(ctx context.Context, q nwcq.Query) (nwcq.Result, error) {
 	start := time.Now()
-	res, err := s.nwc(ctx, q, nil)
-	s.obs.observe(rNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	res, hit, err := s.nwcCached(ctx, q)
+	elapsed := time.Since(start)
+	visits := res.Stats.NodeVisits
+	if hit {
+		visits = 0
+	}
+	s.obs.observe(rNWC, q.Scheme, elapsed, visits, err)
 	return res, err
+}
+
+func (s *Sharded) nwcCached(ctx context.Context, q nwcq.Query) (nwcq.Result, bool, error) {
+	c := s.rcache
+	if c == nil {
+		res, err := s.nwc(ctx, q, nil)
+		return res, false, err
+	}
+	gen := s.generation()
+	if res, ok := c.nwc.Get(gen, q); ok {
+		return res, true, nil
+	}
+	res, err := c.nwc.Do(ctx, gen, q, func() (nwcq.Result, error) {
+		return s.nwc(ctx, q, nil)
+	})
+	return res, false, err
 }
 
 // ExplainNWC answers an NWC query with per-shard tracing, merging the
 // shard traces into one router-level trace whose phases are prefixed
 // with the shard that ran them, plus a synthetic border-fetch phase.
+// Explained queries never touch the result cache.
 func (s *Sharded) ExplainNWC(ctx context.Context, q nwcq.Query) (nwcq.Result, *nwcq.QueryTrace, error) {
 	col := &explainCollector{}
 	start := time.Now()
@@ -204,24 +260,9 @@ func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) 
 	bounds := s.shardBounds()
 	home := s.shardFor(q.X, q.Y)
 
-	out := nwcq.Result{}
-	best := math.Inf(1)
-	for _, i := range s.visitOrder(qp, bounds, home) {
-		if i != home && bounds[i].MinDist(qp) > best {
-			s.obs.shardsPruned.Inc()
-			continue
-		}
-		r, err := s.shardNWC(ctx, i, q, col)
-		if err != nil {
-			return nwcq.Result{Stats: out.Stats}, err
-		}
-		s.obs.shardQueries.Inc()
-		out.Stats = addStats(out.Stats, r.Stats)
-		if r.Found && r.Dist < best {
-			best = r.Dist
-			out.Group = r.Group
-			out.Found = true
-		}
+	out, best, err := s.scatterNWC(ctx, q, qp, bounds, home, col)
+	if err != nil {
+		return nwcq.Result{Stats: out.Stats}, err
 	}
 
 	if !math.IsInf(best, 1) {
@@ -260,6 +301,121 @@ func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) 
 	return out, nil
 }
 
+// scatterNWC runs the scatter phase and returns the merged best local
+// answer (best is +Inf when no shard found one). With one worker — or
+// one shard, the automatic fallback — it is the original sequential
+// loop, byte for byte of allocation. With more, workers claim shards
+// off the MINDIST schedule and cooperate through a shared bound cell:
+//
+//   - Every shard traversal runs with the cell on its reader, so SRR,
+//     DIP, DEP and the window MINDIST gate prune against
+//     min(local best, global bound) and publish improvements back.
+//   - A shard still queued when the cell drops below its region MINDIST
+//     is cancelled at claim time (counted in ShardsPruned, like the
+//     sequential prune).
+//
+// Safety: the cell is monotone non-increasing and always ≥ the final
+// global best B, so claim-time pruning only skips shards whose every
+// group is ≥ B, and in-traversal pruning only elides groups ≥ B —
+// both invisible to the merge, whose minimum is exactly B either way.
+func (s *Sharded) scatterNWC(ctx context.Context, q nwcq.Query, qp geom.Point, bounds []geom.Rect, home int, col *explainCollector) (nwcq.Result, float64, error) {
+	order := s.visitOrder(qp, bounds, home)
+	workers := s.scatterWorkers(len(order))
+	out := nwcq.Result{}
+	best := math.Inf(1)
+
+	if workers <= 1 {
+		for _, i := range order {
+			if i != home && bounds[i].MinDist(qp) > best {
+				s.obs.shardsPruned.Inc()
+				continue
+			}
+			r, err := s.shardNWC(ctx, i, q, col)
+			if err != nil {
+				return out, best, err
+			}
+			s.obs.shardQueries.Inc()
+			out.Stats = addStats(out.Stats, r.Stats)
+			if r.Found && r.Dist < best {
+				best = r.Dist
+				out.Group = r.Group
+				out.Found = true
+			}
+		}
+		return out, best, nil
+	}
+
+	sb := rstar.NewSharedBound()
+	bctx := rstar.ContextWithBound(ctx, sb)
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	// claim hands a worker the next unpruned shard off the schedule.
+	// Pruning tests the live cell, which is ≤ every completed shard's
+	// best, so it is at least as sharp as the sequential bound.
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for next < len(order) {
+			if firstErr != nil {
+				return 0, false
+			}
+			i := order[next]
+			next++
+			if i != home && bounds[i].MinDist(qp) > sb.Load() {
+				s.obs.shardsPruned.Inc()
+				continue
+			}
+			return i, true
+		}
+		return 0, false
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// The label shows up on CPU profiles, splitting scatter work
+			// by worker under /debug/pprof.
+			pprof.Do(bctx, pprof.Labels("nwcq_scatter_worker", strconv.Itoa(worker)), func(wctx context.Context) {
+				for {
+					i, ok := claim()
+					if !ok {
+						return
+					}
+					s.obs.inflight.Add(1)
+					r, err := s.shardNWC(wctx, i, q, col)
+					s.obs.inflight.Add(-1)
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					s.obs.shardQueries.Inc()
+					out.Stats = addStats(out.Stats, r.Stats)
+					if r.Found && r.Dist < best {
+						best = r.Dist
+						out.Group = r.Group
+						out.Found = true
+					}
+					mu.Unlock()
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	s.obs.boundTightenings.Add(sb.Tightenings())
+	if firstErr != nil {
+		return out, best, firstErr
+	}
+	return out, best, nil
+}
+
 func (s *Sharded) shardNWC(ctx context.Context, i int, q nwcq.Query, col *explainCollector) (nwcq.Result, error) {
 	if col == nil {
 		return s.shards[i].NWCCtx(ctx, q)
@@ -281,13 +437,34 @@ func (s *Sharded) KNWC(q nwcq.KQuery) (nwcq.KResult, error) {
 // result equals the single-index answer in group count and distances.
 func (s *Sharded) KNWCCtx(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, error) {
 	start := time.Now()
-	res, err := s.knwc(ctx, q, nil)
-	s.obs.observe(rKNWC, q.Scheme, time.Since(start), res.Stats.NodeVisits, err)
+	res, hit, err := s.knwcCached(ctx, q)
+	elapsed := time.Since(start)
+	visits := res.Stats.NodeVisits
+	if hit {
+		visits = 0
+	}
+	s.obs.observe(rKNWC, q.Scheme, elapsed, visits, err)
 	return res, err
 }
 
+func (s *Sharded) knwcCached(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, bool, error) {
+	c := s.rcache
+	if c == nil {
+		res, err := s.knwc(ctx, q, nil)
+		return res, false, err
+	}
+	gen := s.generation()
+	if res, ok := c.knwc.Get(gen, q); ok {
+		return res, true, nil
+	}
+	res, err := c.knwc.Do(ctx, gen, q, func() (nwcq.KResult, error) {
+		return s.knwc(ctx, q, nil)
+	})
+	return res, false, err
+}
+
 // ExplainKNWC is KNWCCtx with per-shard tracing, merged like
-// ExplainNWC.
+// ExplainNWC. Explained queries never touch the result cache.
 func (s *Sharded) ExplainKNWC(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, *nwcq.QueryTrace, error) {
 	col := &explainCollector{}
 	start := time.Now()
@@ -344,31 +521,17 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 	home := s.shardFor(q.X, q.Y)
 	cq := coreQuery(q.Query)
 
-	// Scatter: collect per-shard chains, pruning against the running
-	// merged estimate. The pool only seeds the certification bound.
-	var stats nwcq.Stats
-	var pool []core.Group
-	est := math.Inf(1)
-	for _, i := range s.visitOrder(qp, bounds, home) {
-		if i != home && bounds[i].MinDist(qp) > est {
-			s.obs.shardsPruned.Inc()
-			continue
-		}
-		kr, err := s.shardKNWC(ctx, i, q, col)
-		if err != nil {
-			return nwcq.KResult{Stats: stats}, err
-		}
-		s.obs.shardQueries.Inc()
-		stats = addStats(stats, kr.Stats)
-		for _, g := range kr.Groups {
-			pool = append(pool, groupIn(g))
-		}
-		est = mergeEstimate(pool, q.K, q.M)
+	stats, pool, est, err := s.scatterKNWC(ctx, q, qp, bounds, home, col)
+	if err != nil {
+		return nwcq.KResult{Stats: stats}, err
 	}
 
 	// Fast path: every candidate at or below the estimate lives in a
 	// single shard, so that shard's own greedy chain is the global
-	// answer — and it is exactly what the merge reproduces.
+	// answer — and it is exactly what the merge reproduces. (A shard
+	// pruned against a transiently smaller estimate cannot hide here:
+	// if its MINDIST ended up below the final estimate, its bounds
+	// intersect the fetch box and the fast path is off.)
 	if !math.IsInf(est, 1) && intersecting(bounds, fetchBox(q.Query, est)) <= 1 {
 		return s.mergedKResult(pool, q, stats), nil
 	}
@@ -416,6 +579,109 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 		}
 		d = math.Max(2*d, math.Hypot(q.Length, q.Width))
 	}
+}
+
+// scatterKNWC collects per-shard chains, pruning queued shards against
+// the running merged estimate; the pool only seeds the certification
+// bound. With multiple workers the pool and estimate live behind a
+// mutex and shard claims prune against the live estimate.
+//
+// Unlike NWC, the per-traversal engines get NO shared bound cell: the
+// merge estimate is non-monotone (accepting a pooled group can push the
+// k-th greedy distance up, since greedy acceptance is blocked by
+// overlap), and the single-intersecting-shard fast path returns a local
+// chain verbatim — which is only correct if that chain was built
+// unbounded. Shard-claim pruning stays sound regardless, because a
+// shard skipped against a transiently small estimate either stays
+// irrelevant (MINDIST above the final estimate) or disables the fast
+// path and is covered by the certification fetch.
+func (s *Sharded) scatterKNWC(ctx context.Context, q nwcq.KQuery, qp geom.Point, bounds []geom.Rect, home int, col *explainCollector) (nwcq.Stats, []core.Group, float64, error) {
+	order := s.visitOrder(qp, bounds, home)
+	workers := s.scatterWorkers(len(order))
+	var stats nwcq.Stats
+	var pool []core.Group
+	est := math.Inf(1)
+
+	if workers <= 1 {
+		for _, i := range order {
+			if i != home && bounds[i].MinDist(qp) > est {
+				s.obs.shardsPruned.Inc()
+				continue
+			}
+			kr, err := s.shardKNWC(ctx, i, q, col)
+			if err != nil {
+				return stats, pool, est, err
+			}
+			s.obs.shardQueries.Inc()
+			stats = addStats(stats, kr.Stats)
+			for _, g := range kr.Groups {
+				pool = append(pool, groupIn(g))
+			}
+			est = mergeEstimate(pool, q.K, q.M)
+		}
+		return stats, pool, est, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for next < len(order) {
+			if firstErr != nil {
+				return 0, false
+			}
+			i := order[next]
+			next++
+			if i != home && bounds[i].MinDist(qp) > est {
+				s.obs.shardsPruned.Inc()
+				continue
+			}
+			return i, true
+		}
+		return 0, false
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			pprof.Do(ctx, pprof.Labels("nwcq_scatter_worker", strconv.Itoa(worker)), func(wctx context.Context) {
+				for {
+					i, ok := claim()
+					if !ok {
+						return
+					}
+					s.obs.inflight.Add(1)
+					kr, err := s.shardKNWC(wctx, i, q, col)
+					s.obs.inflight.Add(-1)
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					s.obs.shardQueries.Inc()
+					stats = addStats(stats, kr.Stats)
+					for _, g := range kr.Groups {
+						pool = append(pool, groupIn(g))
+					}
+					est = mergeEstimate(pool, q.K, q.M)
+					mu.Unlock()
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return stats, pool, est, firstErr
+	}
+	return stats, pool, est, nil
 }
 
 // mergedKResult materialises the fast-path answer: greedy over the
@@ -508,7 +774,7 @@ func (s *Sharded) NWCBatch(queries []nwcq.Query, opt nwcq.BatchOptions) ([]nwcq.
 // error aborts the batch, matching the single-index semantics.
 func (s *Sharded) NWCBatchCtx(ctx context.Context, queries []nwcq.Query, opt nwcq.BatchOptions) ([]nwcq.Result, error) {
 	results := make([]nwcq.Result, len(queries))
-	err := eachIndexed(len(queries), batchWorkers(opt), func(i int) error {
+	err := wpool.Each(len(queries), s.batchWorkers(opt), func(i int) error {
 		res, err := s.NWCCtx(ctx, queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
@@ -530,7 +796,7 @@ func (s *Sharded) KNWCBatch(queries []nwcq.KQuery, opt nwcq.BatchOptions) ([]nwc
 // KNWCBatchCtx is the kNWC batch form of NWCBatchCtx.
 func (s *Sharded) KNWCBatchCtx(ctx context.Context, queries []nwcq.KQuery, opt nwcq.BatchOptions) ([]nwcq.KResult, error) {
 	results := make([]nwcq.KResult, len(queries))
-	err := eachIndexed(len(queries), batchWorkers(opt), func(i int) error {
+	err := wpool.Each(len(queries), s.batchWorkers(opt), func(i int) error {
 		res, err := s.KNWCCtx(ctx, queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
@@ -544,73 +810,20 @@ func (s *Sharded) KNWCBatchCtx(ctx context.Context, queries []nwcq.KQuery, opt n
 	return results, nil
 }
 
-func batchWorkers(opt nwcq.BatchOptions) int {
+// batchWorkers resolves one batch call's worker count: the per-call
+// option wins, then the router's Parallelism, then GOMAXPROCS.
+func (s *Sharded) batchWorkers(opt nwcq.BatchOptions) int {
 	if opt.Parallelism > 0 {
 		return opt.Parallelism
 	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// eachIndexed runs fn(0..n-1) over a bounded worker pool, returning the
-// first error (remaining work is skipped, in-flight calls finish).
-func eachIndexed(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	claim := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := claim()
-				if !ok {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return s.parallelism()
 }
 
 // explainCollector gathers per-shard traces during an explained routed
-// query. A nil collector is the no-trace fast path.
+// query; a nil collector is the no-trace fast path. It is safe for the
+// scatter workers' concurrent add calls.
 type explainCollector struct {
+	mu      sync.Mutex
 	entries []shardTrace
 	// borderPoints is -1 until a border fetch ran.
 	borderPoints int
@@ -627,8 +840,10 @@ func (c *explainCollector) add(shard int, tr *nwcq.QueryTrace) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	c.entries = append(c.entries, shardTrace{shard: shard, trace: tr})
 	c.borderStart = time.Now()
+	c.mu.Unlock()
 }
 
 // borderDone stamps the border-fetch phase (points fetched, duration
@@ -637,16 +852,22 @@ func (c *explainCollector) borderDone(points int) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	c.borderPoints += points
 	if !c.borderStart.IsZero() {
 		c.borderTime = time.Since(c.borderStart)
 	}
+	c.mu.Unlock()
 }
 
 // merged assembles the router-level trace: every shard's phases
 // prefixed with its shard number, counters summed, plus a synthetic
-// border-fetch phase when one ran.
+// border-fetch phase when one ran. Shard entries are ordered by shard
+// index so the merged trace is stable under parallel scatter.
 func (c *explainCollector) merged(kind string, scheme nwcq.Scheme, measure nwcq.Measure, elapsed time.Duration, visits uint64) *nwcq.QueryTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.SliceStable(c.entries, func(i, j int) bool { return c.entries[i].shard < c.entries[j].shard })
 	qt := &nwcq.QueryTrace{
 		Kind:       kind,
 		Scheme:     scheme.String(),

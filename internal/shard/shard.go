@@ -29,6 +29,8 @@ import (
 
 	"nwcq"
 	"nwcq/internal/geom"
+	wpool "nwcq/internal/pool"
+	"nwcq/internal/qcache"
 )
 
 // Options configures NewSharded and OpenSharded.
@@ -47,6 +49,20 @@ type Options struct {
 	// declared once and apply per shard. Do not pass nwcq.WithSpace here:
 	// each shard derives its own (sub-)space from its points.
 	Build []nwcq.BuildOption
+	// Parallelism is the router's worker-pool width: how many shards the
+	// scatter phase (and the border fetch) queries concurrently, and the
+	// default batch width. 0 means GOMAXPROCS; 1 forces the sequential
+	// path. Adjustable at runtime with SetParallelism.
+	Parallelism int
+	// ResultCache, when positive, gives the router a single-flight query
+	// result cache holding up to that many entries per query kind,
+	// keyed by the full query plus the dataset generation (the sum of
+	// the shards' view generations), so any published mutation on any
+	// shard invalidates it with one integer compare. Do not also pass
+	// nwcq.WithResultCache in Build: the router cache sits above the
+	// shards, and per-shard caches under it would only duplicate
+	// storage.
+	ResultCache int
 }
 
 // Sharded owns N index shards and a scatter-gather router over them.
@@ -72,8 +88,80 @@ type Sharded struct {
 	bounds atomic.Pointer[[]geom.Rect]
 	bmu    sync.Mutex
 
+	// par is the configured worker width for scatter, border fetch and
+	// batches (0 = GOMAXPROCS). Runtime adjustable via SetParallelism;
+	// read with one atomic load per routed query.
+	par atomic.Int32
+	// rcache is the router-level result cache; nil when Options left it
+	// off.
+	rcache *routerCache
+
 	created time.Time
 	obs     *routerMetrics
+}
+
+// routerCache pairs the router's NWC and kNWC result caches — the
+// sharded twin of the single-index resultCache in nwcq.
+type routerCache struct {
+	nwc  *qcache.Cache[nwcq.Query, nwcq.Result]
+	knwc *qcache.Cache[nwcq.KQuery, nwcq.KResult]
+}
+
+func newRouterCache(entries int) *routerCache {
+	if entries <= 0 {
+		return nil
+	}
+	return &routerCache{
+		nwc:  qcache.New[nwcq.Query, nwcq.Result](entries),
+		knwc: qcache.New[nwcq.KQuery, nwcq.KResult](entries),
+	}
+}
+
+func (c *routerCache) stats() qcache.Stats {
+	return c.nwc.Stats().Add(c.knwc.Stats())
+}
+
+// SetParallelism adjusts the router's worker width at runtime (0
+// restores the GOMAXPROCS default). In-flight queries keep the width
+// they started with.
+func (s *Sharded) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.par.Store(int32(n))
+}
+
+// Parallelism returns the resolved worker width (the configured value,
+// or GOMAXPROCS when unset).
+func (s *Sharded) Parallelism() int { return s.parallelism() }
+
+func (s *Sharded) parallelism() int { return wpool.Workers(int(s.par.Load())) }
+
+// scatterWorkers caps the worker width at the number of work items, so
+// a single-shard deployment (or a one-shard fetch) automatically takes
+// the sequential path with zero goroutine or locking overhead.
+func (s *Sharded) scatterWorkers(n int) int {
+	p := s.parallelism()
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// generation is the router's dataset version: the sum of the shards'
+// view generations. Per-shard generations are monotone, so the sum is
+// monotone and strictly increases on every published mutation anywhere
+// — the result cache's invalidation signal. (A query concurrent with a
+// publish may cache a result computed partly on the newer views under
+// the older sum; that only ever serves *newer* data to callers of the
+// older generation, never stale data to a query that began after the
+// publish, which necessarily reads a larger sum.)
+func (s *Sharded) generation() uint64 {
+	var g uint64
+	for _, ix := range s.shards {
+		g += ix.ViewGeneration()
+	}
+	return g
 }
 
 // Interface conformance mirrors the single-index checks in nwcq.
@@ -219,6 +307,8 @@ func NewSharded(points []nwcq.Point, opt Options) (*Sharded, error) {
 		return nil, fmt.Errorf("shard: Shards must be at least 1, got %d", opt.Shards)
 	}
 	s := newRouter(rectFrom(opt.Space, points), opt.Shards)
+	s.SetParallelism(opt.Parallelism)
+	s.rcache = newRouterCache(opt.ResultCache)
 	parts := s.partition(points)
 	s.shards = make([]*nwcq.Index, opt.Shards)
 	s.pageds = make([]*nwcq.PagedIndex, opt.Shards)
@@ -263,6 +353,8 @@ func OpenSharded(dir string, opt Options) (*Sharded, error) {
 		return nil, err
 	}
 	s := newRouter(geom.NewRect(m.Space.MinX, m.Space.MinY, m.Space.MaxX, m.Space.MaxY), m.Shards)
+	s.SetParallelism(opt.Parallelism)
+	s.rcache = newRouterCache(opt.ResultCache)
 	s.shards = make([]*nwcq.Index, m.Shards)
 	s.pageds = make([]*nwcq.PagedIndex, m.Shards)
 	for i := range s.shards {

@@ -300,6 +300,12 @@ type Index struct {
 	// dur binds the write-ahead log on WAL-backed paged indexes (nil for
 	// in-memory indexes and WithoutWAL); see durable.go.
 	dur *durability
+
+	// vgen numbers published views (the initial view is generation 1);
+	// cache is the optional result cache keyed by (query, generation).
+	// See cache.go.
+	vgen  atomic.Uint64
+	cache *resultCache
 }
 
 type buildOptions struct {
@@ -316,6 +322,11 @@ type buildOptions struct {
 	nodeCacheSet bool
 	// slowThreshold enables the slow-query log when positive.
 	slowThreshold time.Duration
+	// parallelism is the default batch worker-pool width (0 means
+	// GOMAXPROCS); resultCache enables the query result cache when
+	// positive (entries per query kind). See cache.go.
+	parallelism int
+	resultCache int
 	// Write-ahead-log knobs; paged indexes only (see durable.go).
 	walDisabled        bool
 	walSync            SyncPolicy
@@ -500,7 +511,9 @@ func Build(points []Point, opts ...BuildOption) (*Index, error) {
 	ix := &Index{
 		options: o,
 		obs:     newQueryMetrics(), slow: newSlowLog(o.slowThreshold), created: time.Now(),
+		cache: newResultCache(o.resultCache),
 	}
+	v.gen = ix.vgen.Add(1)
 	ix.cur.Store(v)
 	return ix, nil
 }
@@ -534,10 +547,16 @@ func (ix *Index) NWC(q Query) (Result, error) {
 // Stats is computed in isolation, exact under any concurrency.
 func (ix *Index) NWCCtx(ctx context.Context, q Query) (Result, error) {
 	start := time.Now()
-	res, err := ix.nwc(ctx, q, nil)
+	res, hit, err := ix.nwcCached(ctx, q)
 	elapsed := time.Since(start)
-	ix.obs.observe(kindNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
-	ix.noteSlow(kindNWC, q, 0, 0, start, elapsed, res.Stats.NodeVisits, err)
+	visits := res.Stats.NodeVisits
+	if hit {
+		// A cache hit visits no nodes; the stored Stats describe the
+		// execution that populated the entry.
+		visits = 0
+	}
+	ix.obs.observe(kindNWC, q.Scheme, elapsed, visits, err)
+	ix.noteSlow(kindNWC, q, 0, 0, start, elapsed, visits, err)
 	return res, err
 }
 
@@ -556,9 +575,9 @@ func (ix *Index) nwc(ctx context.Context, q Query, rec *trace.Recorder) (Result,
 	if err != nil {
 		return Result{}, err
 	}
-	res, st, err := eng.NWCTrace(ctx, core.Query{
+	res, st, err := eng.NWCBounded(ctx, core.Query{
 		Q: geom.Point{X: q.X, Y: q.Y}, L: q.Length, W: q.Width, N: q.N,
-	}, scheme, measure, rec)
+	}, scheme, measure, rec, rstar.BoundFromContext(ctx))
 	if err != nil {
 		return Result{Stats: statsFrom(st)}, err
 	}
@@ -575,10 +594,14 @@ func (ix *Index) nwc(ctx context.Context, q Query, rec *trace.Recorder) (Result,
 // query's isolated Stats. Context semantics match NWCCtx.
 func (ix *Index) KNWCCtx(ctx context.Context, q KQuery) (KResult, error) {
 	start := time.Now()
-	res, err := ix.knwc(ctx, q, nil)
+	res, hit, err := ix.knwcCached(ctx, q)
 	elapsed := time.Since(start)
-	ix.obs.observe(kindKNWC, q.Scheme, elapsed, res.Stats.NodeVisits, err)
-	ix.noteSlow(kindKNWC, q.Query, q.K, q.M, start, elapsed, res.Stats.NodeVisits, err)
+	visits := res.Stats.NodeVisits
+	if hit {
+		visits = 0
+	}
+	ix.obs.observe(kindKNWC, q.Scheme, elapsed, visits, err)
+	ix.noteSlow(kindKNWC, q.Query, q.K, q.M, start, elapsed, visits, err)
 	return res, err
 }
 

@@ -168,6 +168,24 @@ type MetricsSnapshot struct {
 	// Router reports scatter-gather routing counters; nil for
 	// single-index backends.
 	Router *RouterMetrics `json:"router,omitempty"`
+	// ResultCache reports the query result cache; nil when no cache is
+	// configured (WithResultCache / shard.Options.ResultCache).
+	ResultCache *ResultCacheMetrics `json:"result_cache,omitempty"`
+}
+
+// ResultCacheMetrics reports the single-flight query result cache:
+// outcome counts (a coalesced lookup shared another caller's in-flight
+// computation), generation invalidations that dropped the map, current
+// population and the resulting hit rate. NWC and kNWC caches are
+// reported summed.
+type ResultCacheMetrics struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Coalesced     uint64 `json:"coalesced"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+	// HitRate is Hits / (Hits + Misses), zero before any lookup.
+	HitRate float64 `json:"hit_rate"`
 }
 
 // RouterMetrics reports the routing activity of a sharded backend
@@ -186,6 +204,14 @@ type RouterMetrics struct {
 	// FetchReruns counts kNWC certification retries (fetch-bound
 	// doublings before the merged answer was provably exact).
 	FetchReruns uint64 `json:"fetch_reruns"`
+	// Parallelism is the resolved scatter worker width;
+	// InflightWorkers is the number of shard queries running right now.
+	Parallelism     int   `json:"parallelism"`
+	InflightWorkers int64 `json:"inflight_workers"`
+	// BoundTightenings counts improvements published to the shared
+	// scatter bound cell by in-flight shard traversals — how often the
+	// parallel workers actually helped each other prune.
+	BoundTightenings uint64 `json:"bound_tightenings"`
 }
 
 // Metrics returns aggregated latency, error and I/O statistics over
@@ -252,6 +278,7 @@ func (ix *Index) Metrics() MetricsSnapshot {
 			SyncPolicy:       d.policy.String(),
 		}
 	}
+	out.ResultCache = ix.cache.metrics()
 	return out
 }
 
@@ -340,7 +367,31 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 		pw.Header("nwcq_wal_durable_lsn", "gauge", "Highest LSN known fsynced to stable storage.")
 		pw.Value("nwcq_wal_durable_lsn", nil, float64(d.log.DurableLSN()))
 	}
+	writeResultCacheProm(pw, ix.cache.metrics())
 	return pw.Err
+}
+
+// writeResultCacheProm renders the result-cache families; both the
+// single-index and the sharded exposition share it. A nil snapshot
+// (caching off) writes nothing.
+func writeResultCacheProm(pw *promWriter, rc *ResultCacheMetrics) {
+	if rc == nil {
+		return
+	}
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"nwcq_result_cache_hits_total", "Query result cache hits.", rc.Hits},
+		{"nwcq_result_cache_misses_total", "Query result cache misses (including stale-generation bypasses).", rc.Misses},
+		{"nwcq_result_cache_coalesced_total", "Lookups that shared another caller's in-flight computation.", rc.Coalesced},
+		{"nwcq_result_cache_invalidations_total", "Generation advances that dropped the cached entries.", rc.Invalidations},
+	} {
+		pw.Header(c.name, "counter", c.help)
+		pw.Value(c.name, nil, float64(c.v))
+	}
+	pw.Header("nwcq_result_cache_entries", "gauge", "Entries currently cached (including in-flight computations).")
+	pw.Value("nwcq_result_cache_entries", nil, float64(rc.Entries))
 }
 
 // The Prometheus text-format writer lives in internal/metrics (prom.go)

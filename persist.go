@@ -314,6 +314,8 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 		file:  f,
 		log:   log,
 	}
+	px.cache = newResultCache(o.resultCache)
+	v.gen = px.vgen.Add(1)
 	px.cur.Store(v)
 	return px, nil
 }

@@ -34,6 +34,12 @@ type view struct {
 	grid *grid.Density // immutable (reached only via COW derivation)
 	eng  *core.Engine  // SRR/DIP/DEP engine over tree+grid; no IWP
 
+	// gen is this view's publication generation (Index.vgen at publish
+	// time, starting at 1 for the build/open view). It is set before the
+	// view is published and read lock-free by the result cache, whose
+	// entire invalidation protocol is comparing this number.
+	gen uint64
+
 	// IWP pointers are built per view, on demand, exactly once: the
 	// first IWP-scheme query on a fresh view populates iwpState under
 	// iwpMu (single-flight); every later query reads it with one atomic
@@ -162,6 +168,10 @@ func (ix *Index) publishLocked(tree *rstar.Tree, den *grid.Density, retired []rs
 	}
 	old := ix.cur.Load()
 	nv.iwpBytesHint = old.iwpBytes()
+	// Stamp the generation before the swap: the instant nv is visible,
+	// ViewGeneration reports a number strictly above every entry cached
+	// against the superseded view, so a stale hit is impossible.
+	nv.gen = ix.vgen.Add(1)
 	old.retired = retired
 	ix.retireq = append(ix.retireq, old)
 	ix.cur.Store(nv)
