@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nwcq/internal/pool"
+	"nwcq/internal/qevent"
 )
 
 // Batch execution. Queries are safe under unrestricted concurrency, so
@@ -44,6 +45,9 @@ func (ix *Index) NWCBatch(queries []Query, opt BatchOptions) ([]Result, error) {
 // runs under ctx, so cancellation aborts the whole batch with the
 // context's error.
 func (ix *Index) NWCBatchCtx(ctx context.Context, queries []Query, opt BatchOptions) ([]Result, error) {
+	// A wide event is owned by one request; concurrent batch members must
+	// not race on it, so the fan-out runs detached.
+	ctx = qevent.Detach(ctx)
 	results := make([]Result, len(queries))
 	err := pool.Each(len(queries), ix.batchWorkers(opt), func(i int) error {
 		res, err := ix.NWCCtx(ctx, queries[i])
@@ -68,6 +72,7 @@ func (ix *Index) KNWCBatch(queries []KQuery, opt BatchOptions) ([]KResult, error
 // KNWCBatchCtx is KNWCBatch under a context, with NWCBatchCtx's
 // cancellation semantics.
 func (ix *Index) KNWCBatchCtx(ctx context.Context, queries []KQuery, opt BatchOptions) ([]KResult, error) {
+	ctx = qevent.Detach(ctx)
 	results := make([]KResult, len(queries))
 	err := pool.Each(len(queries), ix.batchWorkers(opt), func(i int) error {
 		res, err := ix.KNWCCtx(ctx, queries[i])

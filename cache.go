@@ -5,7 +5,9 @@ import (
 
 	"nwcq/internal/pool"
 	"nwcq/internal/qcache"
+	"nwcq/internal/qevent"
 	"nwcq/internal/rstar"
+	"nwcq/internal/trace"
 )
 
 // Parallel execution and result caching knobs. The mechanics live in
@@ -99,36 +101,106 @@ func resultCacheMetrics(st qcache.Stats) *ResultCacheMetrics {
 // legitimately elide groups at or beyond the global bound, so its
 // result must never be stored for (or served to) an unbounded caller.
 func (ix *Index) nwcCached(ctx context.Context, q Query) (Result, bool, error) {
+	ev := qevent.From(ctx)
 	c := ix.cache
 	if c == nil || rstar.BoundFromContext(ctx) != nil {
-		res, err := ix.nwc(ctx, q, nil)
+		if ev != nil {
+			if c == nil {
+				ev.Cache = qevent.CacheOff
+			} else {
+				ev.Cache = qevent.CacheBypass
+			}
+		}
+		res, err := ix.nwcEvent(ctx, q, ev)
 		return res, false, err
 	}
 	gen := ix.ViewGeneration()
 	if res, ok := c.nwc.Get(gen, q); ok {
+		if ev != nil {
+			ev.Cache = qevent.CacheHit
+		}
 		return res, true, nil
 	}
+	if ev != nil {
+		ev.Cache = qevent.CacheMiss
+	}
 	res, err := c.nwc.Do(ctx, gen, q, func() (Result, error) {
-		return ix.nwc(ctx, q, nil)
+		return ix.nwcEvent(ctx, q, ev)
 	})
 	return res, false, err
 }
 
 // knwcCached is nwcCached for kNWC queries.
 func (ix *Index) knwcCached(ctx context.Context, q KQuery) (KResult, bool, error) {
+	ev := qevent.From(ctx)
 	c := ix.cache
 	if c == nil || rstar.BoundFromContext(ctx) != nil {
-		res, err := ix.knwc(ctx, q, nil)
+		if ev != nil {
+			if c == nil {
+				ev.Cache = qevent.CacheOff
+			} else {
+				ev.Cache = qevent.CacheBypass
+			}
+		}
+		res, err := ix.knwcEvent(ctx, q, ev)
 		return res, false, err
 	}
 	gen := ix.ViewGeneration()
 	if res, ok := c.knwc.Get(gen, q); ok {
+		if ev != nil {
+			ev.Cache = qevent.CacheHit
+		}
 		return res, true, nil
 	}
+	if ev != nil {
+		ev.Cache = qevent.CacheMiss
+	}
 	res, err := c.knwc.Do(ctx, gen, q, func() (KResult, error) {
-		return ix.knwc(ctx, q, nil)
+		return ix.knwcEvent(ctx, q, ev)
 	})
 	return res, false, err
+}
+
+// nwcEvent executes the query, attaching a trace recorder when a wide
+// event rides the context so the event gets the engine's phase split
+// for free. Tracing never changes results, so a traced execution is
+// safe to store in the cache. A coalesced waiter shares the leader's
+// result but not its recorder; its event simply carries no phases.
+func (ix *Index) nwcEvent(ctx context.Context, q Query, ev *qevent.Event) (Result, error) {
+	if ev == nil {
+		return ix.nwc(ctx, q, nil)
+	}
+	rec := trace.New()
+	res, err := ix.nwc(ctx, q, rec)
+	ev.Phases = eventPhases(rec)
+	return res, err
+}
+
+// knwcEvent is nwcEvent for kNWC queries.
+func (ix *Index) knwcEvent(ctx context.Context, q KQuery, ev *qevent.Event) (KResult, error) {
+	if ev == nil {
+		return ix.knwc(ctx, q, nil)
+	}
+	rec := trace.New()
+	res, err := ix.knwc(ctx, q, rec)
+	ev.Phases = eventPhases(rec)
+	return res, err
+}
+
+// eventPhases copies a finished recorder's phase breakdown into the
+// wide-event form.
+func eventPhases(rec *trace.Recorder) []qevent.Phase {
+	s := rec.Snapshot()
+	out := make([]qevent.Phase, 0, len(s.Phases))
+	for _, p := range s.Phases {
+		out = append(out, qevent.Phase{
+			Name:       p.Phase.String(),
+			DurationNs: int64(p.Duration),
+			Entered:    p.Entered,
+			NodeVisits: p.Visits,
+		})
+	}
+	return out
 }
 
 // batchWorkers resolves the worker count for one batch call: the

@@ -13,7 +13,14 @@
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics?format=prometheus'
 //	curl 'localhost:8080/debug/slowlog'
+//	curl 'localhost:8080/readyz'
 //	go tool pprof 'localhost:8080/debug/pprof/profile?seconds=10'
+//
+// The listener comes up before the backend opens: /healthz answers 200
+// immediately, while /readyz (and every query endpoint) answers 503
+// until the index is built or reopened — including any WAL replay — so
+// orchestrators and cmd/nwcload can gate on readiness without racing
+// crash recovery.
 //
 // With -index the tree lives on disk and POST /insert and /delete are
 // crash-safe: each mutation is written ahead to <index>.wal/ before it
@@ -24,7 +31,10 @@
 // needs no recovery.
 //
 // Every request is logged through log/slog (text by default, JSON with
-// -log-format json); profiling endpoints are mounted under
+// -log-format json); -query-log-sample N additionally emits one
+// structured wide-event record per N sampled NWC/kNWC requests (cache
+// outcome, engine phases, shard fan-out and the router's
+// scatter/border/merge split); profiling endpoints are mounted under
 // /debug/pprof/.
 package main
 
@@ -34,11 +44,13 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -63,6 +75,7 @@ func main() {
 		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 		logFormat   = flag.String("log-format", "text", "access log format: text or json")
 		accessLog   = flag.Bool("access-log", true, "log every HTTP request")
+		querySample = flag.Int("query-log-sample", 0, "sample 1 in N NWC/kNWC requests into the wide-event query log (0 disables)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -88,13 +101,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Listen before opening the backend: building or reopening an index
+	// (WAL replay in particular) can take a while, and orchestrators
+	// probe /healthz and /readyz from the first second. The boot handler
+	// answers liveness immediately and 503s everything else; once the
+	// backend is open the full handler is swapped in atomically and
+	// /readyz flips to 200. cmd/nwcload gates its warmup on exactly that
+	// transition.
+	health := server.NewHealth()
+	var handler atomic.Pointer[http.Handler]
+	boot := bootHandler(health)
+	handler.Store(&boot)
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening, opening backend", "addr", *addr)
+
 	qr, mu, closeIndex, err := openBackend(logger, *data, *index, *shards, *parallelism, *resultCache, opts)
 	if err != nil {
 		fatal(logger, err)
 	}
 
+	srvOpts := []server.Option{server.WithHealth(health)}
+	if *querySample > 0 {
+		srvOpts = append(srvOpts, server.WithQueryLog(logger, *querySample))
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", server.New(qr, mu).Handler())
+	mux.Handle("/", server.New(qr, mu, srvOpts...).Handler())
 	// Profiling endpoints: CPU/heap/goroutine profiles for go tool pprof.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -102,24 +146,17 @@ func main() {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	var handler http.Handler = mux
+	var full http.Handler = mux
 	if *accessLog {
-		handler = logRequests(logger, handler)
+		full = logRequests(logger, full)
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	handler.Store(&full)
+	health.SetReady(true)
+	logger.Info("serving NWC queries", "addr", *addr)
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting
 	// connections and gives in-flight requests -shutdown-timeout to
 	// finish; a second signal kills the process the default way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("serving NWC queries", "addr", *addr)
 
 	select {
 	case err := <-errc:
@@ -285,6 +322,29 @@ func newLogger(format string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
+}
+
+// bootHandler serves the startup window before the backend is open:
+// liveness succeeds (the process is up), readiness and everything else
+// answer 503 so load balancers and the load harness keep waiting.
+func bootHandler(h *server.Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !h.Ready() {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	})
+	return mux
 }
 
 // statusRecorder captures the response status for the access log.

@@ -1,0 +1,131 @@
+package histo
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewRejectsBadBounds(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := New([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := New([]float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestObserveAndQuantile(t *testing.T) {
+	h := Must(LogBuckets(1, 2, 12))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	s := h.Snapshot()
+	if got := s.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Errorf("mean = %g", got)
+	}
+	// Log-bucketed estimates carry up to one bucket factor of error.
+	for _, c := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.95, 950}, {0.99, 990}, {0.999, 999},
+	} {
+		got := s.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("q%g = %g, want within 2x of %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	h := Must([]float64{1, 2})
+	h.Observe(100) // above every bound
+	s := h.Snapshot()
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d", s.Counts[len(s.Counts)-1])
+	}
+	// Quantiles clamp to the largest bound.
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want 2", got)
+	}
+}
+
+func TestNaNDropped(t *testing.T) {
+	h := Must([]float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN recorded: count = %d", h.Count())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := Must(LatencyBuckets())
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w+1) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	wantSum := 0.0
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w+1) * 1e-4 * per
+	}
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestLatencyBucketsCoverTail(t *testing.T) {
+	b := LatencyBuckets()
+	if b[0] > 1e-6 {
+		t.Errorf("first bound %g above 1µs", b[0])
+	}
+	if last := b[len(b)-1]; last < 60 {
+		t.Errorf("last bound %g below 60s — stalled-server tails would all overflow", last)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	h := Must(LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-3)
+	}
+}
+
+func BenchmarkObserveParallel(b *testing.B) {
+	h := Must(LatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1e-3)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"time"
+
+	"nwcq/internal/histo"
+)
+
+// Recorder accumulates latencies per op class plus an aggregate, into
+// the same log-bucketed histogram the server's metrics use — identical
+// quantile semantics on both sides of the wire. Record is wait-free, so
+// hundreds of workers share one recorder without contention. The run
+// driver keeps two recorders and atomically swaps from the warmup one
+// to the measured one, so warmup samples never pollute the report.
+type Recorder struct {
+	classes map[string]*classRec
+	all     *classRec
+}
+
+type classRec struct {
+	hist *histo.Histogram
+	errs atomic.Uint64
+}
+
+// NewRecorder builds a recorder covering every op class.
+func NewRecorder() *Recorder {
+	r := &Recorder{classes: make(map[string]*classRec, len(Classes))}
+	for _, c := range Classes {
+		r.classes[c] = &classRec{hist: histo.Must(histo.LatencyBuckets())}
+	}
+	r.all = &classRec{hist: histo.Must(histo.LatencyBuckets())}
+	return r
+}
+
+// Record adds one sample. For open-loop runs d is measured from the
+// intended arrival time, not the actual send — the coordinated-omission
+// correction: a stalled server inflates every queued sample's latency
+// instead of silently thinning the sample stream.
+func (r *Recorder) Record(class string, d time.Duration, failed bool) {
+	c, ok := r.classes[class]
+	if !ok {
+		return
+	}
+	s := d.Seconds()
+	c.hist.Observe(s)
+	r.all.hist.Observe(s)
+	if failed {
+		c.errs.Add(1)
+		r.all.errs.Add(1)
+	}
+}
+
+// ClassReport is the measured outcome for one op class.
+type ClassReport struct {
+	Count         uint64  `json:"count"`
+	Errors        uint64  `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyP999Ms float64 `json:"latency_p999_ms"`
+}
+
+// Report is the harness's archived result (BENCH_load.json).
+type Report struct {
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"`
+	Arrival     string  `json:"arrival,omitempty"` // open loop: fixed or poisson
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	Workers     int     `json:"workers"`
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	// Dropped counts open-loop arrivals that were scheduled but never
+	// issued: the intent buffer overflowed, or the run ended with a
+	// backlog. A non-zero value means the server fell behind the target
+	// rate by more than the harness would queue — report it rather than
+	// silently thinning the load.
+	Dropped uint64                 `json:"dropped,omitempty"`
+	Total   ClassReport            `json:"total"`
+	Classes map[string]ClassReport `json:"classes"`
+	SLOs    []SLOResult            `json:"slos,omitempty"`
+	Passed  bool                   `json:"passed"`
+}
+
+func (c *classRec) report(elapsed time.Duration) ClassReport {
+	s := c.hist.Snapshot()
+	rep := ClassReport{
+		Count:         s.Count,
+		Errors:        c.errs.Load(),
+		LatencyMeanMs: s.Mean() * 1e3,
+		LatencyP50Ms:  s.Quantile(0.50) * 1e3,
+		LatencyP95Ms:  s.Quantile(0.95) * 1e3,
+		LatencyP99Ms:  s.Quantile(0.99) * 1e3,
+		LatencyP999Ms: s.Quantile(0.999) * 1e3,
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(s.Count) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// Snapshot renders the recorder into per-class reports over the
+// measured window.
+func (r *Recorder) Snapshot(elapsed time.Duration) (total ClassReport, classes map[string]ClassReport) {
+	classes = make(map[string]ClassReport, len(r.classes))
+	for name, c := range r.classes {
+		if rep := c.report(elapsed); rep.Count > 0 {
+			classes[name] = rep
+		}
+	}
+	return r.all.report(elapsed), classes
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the serving binary: the main module's version as
+// stamped by the Go toolchain ("(devel)" for plain go build, the module
+// version for released binaries) and the Go toolchain that compiled it.
+// Both expositions carry it so a latency regression surfaced by the
+// load harness can be tied to the exact build that produced it.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok && info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	return b
+})
+
+// Build returns the process's build identity, resolved once.
+func Build() BuildInfo { return buildOnce() }
+
+// BuildInfoProm renders the nwcq_build_info gauge: constant value 1
+// with the identity in labels — the Prometheus convention for build
+// metadata, joinable onto any other family by label matching.
+func (p *PromWriter) BuildInfoProm() {
+	b := Build()
+	p.Header("nwcq_build_info", "gauge", "Build identity of the serving binary (constant 1; identity in labels).")
+	p.Value("nwcq_build_info", Labels{"version", b.Version, "go_version", b.GoVersion}, 1)
+}

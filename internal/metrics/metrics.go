@@ -4,18 +4,19 @@
 // or takes a lock after construction, so instrumented queries stay
 // wait-free with respect to each other at any parallelism.
 //
-// Histograms use fixed bucket upper bounds chosen at construction
-// (ExponentialBounds builds the usual log-spaced ladder). Quantiles are
-// estimated from a Snapshot by linear interpolation inside the bucket
-// containing the target rank — the standard bucketed-histogram p50/p95/
-// p99 estimate.
+// The histogram implementation lives in internal/histo — the same
+// log-bucketed core the load harness (cmd/nwcload) records into, so
+// server-side and client-side quantiles are estimated identically —
+// and is re-exported here under the names the metrics call sites have
+// always used. Quantiles are estimated from a Snapshot by linear
+// interpolation inside the bucket containing the target rank — the
+// standard bucketed-histogram p50/p95/p99 estimate.
 package metrics
 
 import (
-	"fmt"
-	"math"
-	"sort"
 	"sync/atomic"
+
+	"nwcq/internal/histo"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value
@@ -36,150 +37,25 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 // Histogram counts observations into fixed buckets. Observe is safe for
 // concurrent use and performs no allocation and no locking: one atomic
 // add on the bucket, one on the total count, and a CAS loop on the
-// float64 running sum.
-type Histogram struct {
-	bounds []float64       // ascending bucket upper bounds (inclusive)
-	counts []atomic.Uint64 // len(bounds)+1; last bucket is +Inf overflow
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
-}
+// float64 running sum. It is internal/histo's histogram under its
+// historical name.
+type Histogram = histo.Histogram
+
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable
+// for quantile estimation and JSON serialisation.
+type HistogramSnapshot = histo.Snapshot
 
 // NewHistogram builds a histogram with the given ascending bucket upper
 // bounds. An observation v lands in the first bucket with v <= bound;
 // values above every bound land in an implicit overflow bucket.
-func NewHistogram(bounds []float64) (*Histogram, error) {
-	if len(bounds) == 0 {
-		return nil, fmt.Errorf("metrics: histogram needs at least one bound")
-	}
-	for i := 1; i < len(bounds); i++ {
-		if !(bounds[i] > bounds[i-1]) {
-			return nil, fmt.Errorf("metrics: bounds not strictly ascending at %d", i)
-		}
-	}
-	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
-	}
-	return h, nil
-}
+func NewHistogram(bounds []float64) (*Histogram, error) { return histo.New(bounds) }
 
 // MustHistogram is NewHistogram panicking on invalid bounds; for
 // package-level construction with known-good bounds.
-func MustHistogram(bounds []float64) *Histogram {
-	h, err := NewHistogram(bounds)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
+func MustHistogram(bounds []float64) *Histogram { return histo.Must(bounds) }
 
 // ExponentialBounds returns n strictly ascending bucket bounds starting
 // at start and growing by factor: start, start*factor, …
 func ExponentialBounds(start, factor float64, n int) []float64 {
-	out := make([]float64, n)
-	v := start
-	for i := range out {
-		out[i] = v
-		v *= factor
-	}
-	return out
-}
-
-// Observe records one value. NaN observations are dropped.
-func (h *Histogram) Observe(v float64) {
-	if math.IsNaN(v) {
-		return
-	}
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
-		}
-	}
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// HistogramSnapshot is a point-in-time copy of a histogram, suitable
-// for quantile estimation and JSON serialisation.
-type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"` // len(Bounds)+1, last is overflow
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
-}
-
-// Snapshot copies the histogram's current state. Concurrent Observes
-// may straddle the copy; each bucket value is individually consistent.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]uint64, len(h.counts)),
-		Count:  h.count.Load(),
-		Sum:    math.Float64frombits(h.sum.Load()),
-	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Load()
-	}
-	return s
-}
-
-// Mean returns the mean observation, 0 when empty.
-func (s HistogramSnapshot) Mean() float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	return s.Sum / float64(s.Count)
-}
-
-// Quantile estimates the q-quantile (0 <= q <= 1) by linear
-// interpolation within the bucket holding the target rank. Results are
-// clamped to the histogram's bound range; an empty histogram yields 0.
-func (s HistogramSnapshot) Quantile(q float64) float64 {
-	total := uint64(0)
-	for _, c := range s.Counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(total)
-	cum := 0.0
-	for i, c := range s.Counts {
-		if c == 0 {
-			continue
-		}
-		next := cum + float64(c)
-		if rank <= next {
-			lo := 0.0
-			if i > 0 {
-				lo = s.Bounds[i-1]
-			}
-			hi := lo
-			if i < len(s.Bounds) {
-				hi = s.Bounds[i]
-			}
-			if next == cum {
-				return hi
-			}
-			frac := (rank - cum) / float64(c)
-			if frac < 0 {
-				frac = 0
-			}
-			return lo + (hi-lo)*frac
-		}
-		cum = next
-	}
-	return s.Bounds[len(s.Bounds)-1]
+	return histo.LogBuckets(start, factor, n)
 }

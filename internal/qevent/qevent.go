@@ -1,0 +1,95 @@
+// Package qevent carries one per-request "wide event" through the query
+// stack on the context: the server attaches an Event to a sampled
+// request, every layer that touches the query (result cache, engine
+// trace recorder, shard router) fills in the fields it owns, and the
+// server emits the completed event as a single structured log record.
+// One record per request holding everything — cache outcome, engine
+// phase timings, shard fan-out, border-fetch work, router phase split —
+// is what lets a tail-latency spike found by the load harness be
+// attributed to the layer that caused it without correlating log lines.
+//
+// An Event is owned by one request goroutine. Layers that fan work out
+// (batch execution, scatter workers) must Detach the context before
+// spawning, so concurrent sub-queries never write one event; the shard
+// router fills the event itself, at routed-query granularity, after its
+// workers have joined.
+package qevent
+
+import "context"
+
+// Cache outcomes recorded by the caching layer (index- or router-level,
+// whichever answered).
+const (
+	CacheOff    = "off"    // no result cache configured
+	CacheHit    = "hit"    // served from the cache
+	CacheMiss   = "miss"   // executed and (possibly) stored
+	CacheBypass = "bypass" // execution kinds that never consult the cache
+)
+
+// Phase is one engine phase's share of the query, copied from the trace
+// recorder ("descent", "srr", "window-enum", …) or synthesised by the
+// router ("scatter", "border", "merge").
+type Phase struct {
+	Name       string `json:"name"`
+	DurationNs int64  `json:"duration_ns"`
+	Entered    int    `json:"entered"`
+	NodeVisits uint64 `json:"node_visits"`
+}
+
+// Router is the routing half of the event, filled by the sharded
+// backend; nil for single-index deployments.
+type Router struct {
+	// ShardsQueried and ShardsPruned split the scatter fan-out: local
+	// queries actually issued vs shards the MINDIST bound skipped.
+	ShardsQueried int `json:"shards_queried"`
+	ShardsPruned  int `json:"shards_pruned"`
+	// BorderFetches/BorderPoints count border-pass window fetches and the
+	// candidate points they returned; FetchReruns counts kNWC
+	// certification retries (fetch-bound doublings).
+	BorderFetches int `json:"border_fetches"`
+	BorderPoints  int `json:"border_points"`
+	FetchReruns   int `json:"fetch_reruns"`
+	// Phase split of the routed query: scatter (shard queries), border
+	// (cross-shard candidate fetches), merge (candidate enumeration and
+	// greedy merging). Scatter+border+merge ≈ total routed latency.
+	ScatterNs int64 `json:"scatter_ns"`
+	BorderNs  int64 `json:"border_ns"`
+	MergeNs   int64 `json:"merge_ns"`
+}
+
+// Event is the wide event for one sampled query.
+type Event struct {
+	// Cache is the caching layer's outcome: one of the Cache* constants,
+	// or empty when no caching layer saw the query.
+	Cache string
+	// Phases is the engine phase breakdown from the trace recorder; empty
+	// on cache hits (nothing executed) and for routed queries (the router
+	// reports its own phase split in Router instead).
+	Phases []Phase
+	// Router is the shard router's attribution block, nil on single-index
+	// backends.
+	Router *Router
+}
+
+type ctxKey struct{}
+
+// With returns ctx carrying ev.
+func With(ctx context.Context, ev *Event) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ev)
+}
+
+// From returns the event carried by ctx, nil when there is none.
+func From(ctx context.Context) *Event {
+	ev, _ := ctx.Value(ctxKey{}).(*Event)
+	return ev
+}
+
+// Detach strips any carried event, so work fanned out under the
+// returned context cannot race on the parent's event. It returns ctx
+// unchanged when no event is attached.
+func Detach(ctx context.Context) context.Context {
+	if From(ctx) == nil {
+		return ctx
+	}
+	return With(ctx, nil)
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestBatchNWCEndpoint answers several queries in one round trip and
+// checks each slot matches the corresponding single-query endpoint.
+func TestBatchNWCEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	centers := [][2]float64{{200, 300}, {500, 500}, {800, 650}}
+	body := `{"queries": [
+		{"x": 200, "y": 300, "l": 80, "w": 80, "n": 4},
+		{"x": 500, "y": 500, "l": 80, "w": 80, "n": 4},
+		{"x": 800, "y": 650, "l": 80, "w": 80, "n": 4}
+	], "parallelism": 2}`
+	var out struct {
+		Results []struct {
+			Found bool `json:"found"`
+			Group *struct {
+				Dist float64 `json:"dist"`
+			} `json:"group"`
+			Stats struct {
+				NodeVisits uint64 `json:"node_visits"`
+			} `json:"stats"`
+		} `json:"results"`
+	}
+	if code := postJSON(t, ts.URL+"/batch/nwc", body, &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	for i, res := range out.Results {
+		if !res.Found || res.Group == nil {
+			t.Fatalf("result %d found nothing on dense data", i)
+		}
+		if res.Stats.NodeVisits == 0 {
+			t.Errorf("result %d reports no I/O", i)
+		}
+		// Results must line up with the request order: the batch answer
+		// for slot i equals the single-query answer for the same params.
+		var single nwcResponse
+		url := fmt.Sprintf("%s/nwc?x=%g&y=%g&l=80&w=80&n=4", ts.URL, centers[i][0], centers[i][1])
+		getJSON(t, url, &single)
+		if !single.Found || single.Group.Dist != res.Group.Dist {
+			t.Errorf("result %d dist %g != single-query dist %g", i, res.Group.Dist, single.Group.Dist)
+		}
+	}
+}
+
+func TestBatchKNWCEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	body := `{"queries": [
+		{"x": 500, "y": 500, "l": 80, "w": 80, "n": 4, "k": 3, "m": 1},
+		{"x": 300, "y": 700, "l": 80, "w": 80, "n": 3, "k": 2, "m": 1, "scheme": "SRR"}
+	]}`
+	var out struct {
+		Results []struct {
+			Found  bool `json:"found"`
+			Groups []struct {
+				Dist float64 `json:"dist"`
+			} `json:"groups"`
+		} `json:"results"`
+	}
+	if code := postJSON(t, ts.URL+"/batch/knwc", body, &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(out.Results))
+	}
+	if len(out.Results[0].Groups) != 3 || len(out.Results[1].Groups) != 2 {
+		t.Fatalf("group counts = %d/%d, want 3/2",
+			len(out.Results[0].Groups), len(out.Results[1].Groups))
+	}
+	for i, res := range out.Results {
+		for j := 1; j < len(res.Groups); j++ {
+			if res.Groups[j].Dist < res.Groups[j-1].Dist {
+				t.Errorf("result %d groups out of order", i)
+			}
+		}
+	}
+}
+
+func TestBatchBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+
+	oversized, err := json.Marshal(batchRequestJSON{Queries: make([]batchQueryJSON, batchMaxQueries+1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"queries": [`},
+		{"empty batch", `{"queries": []}`},
+		{"unknown field", `{"queries": [{"x": 1, "y": 1, "l": 4, "w": 4, "n": 2}], "bogus": 1}`},
+		{"bad scheme in slot 1", `{"queries": [{"x": 1, "y": 1, "l": 4, "w": 4, "n": 2}, {"x": 1, "y": 1, "l": 4, "w": 4, "n": 2, "scheme": "zzz"}]}`},
+		{"invalid query params", `{"queries": [{"x": 1, "y": 1, "l": 4, "w": 4, "n": 0}]}`},
+		{"over the batch cap", string(oversized)},
+	}
+	for _, endpoint := range []string{"/batch/nwc", "/batch/knwc"} {
+		for _, c := range cases {
+			var out struct {
+				Error string `json:"error"`
+			}
+			code := postJSON(t, ts.URL+endpoint, c.body, &out)
+			if code != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400", endpoint, c.name, code)
+			}
+			if out.Error == "" {
+				t.Errorf("%s %s: no error message", endpoint, c.name)
+			}
+		}
+	}
+}
+
+// TestBatchEndpointStats checks batch traffic shows up under its own
+// endpoint counters.
+func TestBatchEndpointStats(t *testing.T) {
+	_, ts := testServer(t)
+	var tmp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	postJSON(t, ts.URL+"/batch/nwc", `{"queries": [{"x": 500, "y": 500, "l": 80, "w": 80, "n": 3}]}`, &tmp)
+	postJSON(t, ts.URL+"/batch/nwc", `{"queries": []}`, &struct{ Error string }{})
+
+	var out struct {
+		Endpoints map[string]struct {
+			Requests uint64 `json:"requests"`
+			Failures uint64 `json:"failures"`
+		} `json:"endpoints"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &out); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	ep := out.Endpoints["batch_nwc"]
+	if ep.Requests != 2 || ep.Failures != 1 {
+		t.Errorf("batch_nwc requests/failures = %d/%d, want 2/1", ep.Requests, ep.Failures)
+	}
+}

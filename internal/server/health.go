@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"nwcq"
+	"nwcq/internal/qevent"
+)
+
+// Option configures optional Server behaviour; pass options to New.
+type Option func(*Server)
+
+// Health is the server's readiness gate, shared between the process
+// that knows when startup finished (nwcserve: after the backend opened
+// and any WAL replay completed) and the /readyz endpoint. Liveness
+// (/healthz) is unconditional — the process is up — while readiness
+// flips only once the backend can actually answer queries, so load
+// balancers and load generators (cmd/nwcload) can gate on it without
+// racing crash recovery.
+type Health struct {
+	ready atomic.Bool
+}
+
+// NewHealth returns a not-yet-ready gate.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady publishes the readiness state; safe for concurrent use.
+func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// Ready reports the current readiness state.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// WithHealth attaches a readiness gate to the server: GET /readyz
+// answers 503 until h.SetReady(true). Without it /readyz is always 200
+// (a server constructed around an already-open backend is ready by
+// definition).
+func WithHealth(h *Health) Option {
+	return func(s *Server) { s.health = h }
+}
+
+// WithQueryLog enables the sampled wide-event query log: one structured
+// record per sampled NWC/kNWC request carrying everything the stack
+// attributed to it — cache outcome, engine phase timings, shard
+// fan-out, border-fetch work and the router's scatter/border/merge
+// split. sampleN is the 1-in-N sampling rate; n <= 1 logs every
+// request. A nil logger disables the log.
+func WithQueryLog(logger *slog.Logger, sampleN int) Option {
+	return func(s *Server) {
+		if logger == nil {
+			return
+		}
+		if sampleN < 1 {
+			sampleN = 1
+		}
+		s.qlog = &queryLog{logger: logger, n: uint64(sampleN)}
+	}
+}
+
+// queryLog samples requests and emits their wide events. Sampling is a
+// single atomic increment; unsampled requests never allocate an event,
+// so the stack's attribution hooks all stay on their nil fast paths.
+type queryLog struct {
+	logger *slog.Logger
+	n      uint64
+	seq    atomic.Uint64
+}
+
+// attach returns ctx carrying a fresh wide event when this request is
+// sampled, and the event itself (nil when unsampled or logging is off).
+func (ql *queryLog) attach(ctx context.Context) (context.Context, *qevent.Event) {
+	if ql == nil {
+		return ctx, nil
+	}
+	if ql.n > 1 && ql.seq.Add(1)%ql.n != 1 {
+		return ctx, nil
+	}
+	ev := &qevent.Event{}
+	return qevent.With(ctx, ev), ev
+}
+
+// emit writes the completed wide event as one structured record. A nil
+// event (unsampled request) is a no-op.
+func (ql *queryLog) emit(op string, q nwcq.Query, k, m int, elapsed time.Duration, found bool, ev *qevent.Event, err error) {
+	if ev == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("op", op),
+		slog.String("scheme", q.Scheme.String()),
+		slog.String("measure", q.Measure.String()),
+		slog.Float64("x", q.X), slog.Float64("y", q.Y),
+		slog.Float64("l", q.Length), slog.Float64("w", q.Width),
+		slog.Int("n", q.N),
+		slog.Int64("duration_ns", elapsed.Nanoseconds()),
+		slog.Bool("found", found),
+	}
+	if k > 0 {
+		attrs = append(attrs, slog.Int("k", k), slog.Int("m", m))
+	}
+	if ev.Cache != "" {
+		attrs = append(attrs, slog.String("cache", ev.Cache))
+	}
+	if len(ev.Phases) > 0 {
+		attrs = append(attrs, slog.Any("phases", ev.Phases))
+	}
+	if ev.Router != nil {
+		attrs = append(attrs, slog.Any("router", ev.Router))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	ql.logger.LogAttrs(context.Background(), slog.LevelInfo, "query", attrs...)
+}

@@ -10,10 +10,13 @@
 //	GET  /nearest?x=&y=&k=                                 plain k-NN
 //	POST /insert {"x":,"y":,"id":}                         add one point
 //	POST /delete {"x":,"y":,"id":}                         remove one point
+//	POST /batch/nwc {"queries":[...]}                      many NWC in one call
+//	POST /batch/knwc {"queries":[...]}                     many kNWC in one call
 //	GET  /stats                                            index + I/O counters
 //	GET  /metrics[?format=prometheus]                      latency/I-O histograms
 //	GET  /debug/slowlog                                    slow-query ring
 //	GET  /healthz                                          liveness
+//	GET  /readyz                                           readiness (503 until the backend opened)
 //
 // Query handlers run under the request's context, so a client that
 // disconnects (or a server read timeout) cancels the index traversal
@@ -76,6 +79,12 @@ type Server struct {
 	failed metrics.Counter
 	// endpoints is built once in New and read-only afterwards.
 	endpoints map[string]*endpointStats
+
+	// health gates /readyz (WithHealth); nil means always ready.
+	health *Health
+	// qlog is the sampled wide-event query log (WithQueryLog); nil means
+	// off.
+	qlog *queryLog
 }
 
 // New wraps a query backend and an optional mutation backend. Any
@@ -84,11 +93,15 @@ type Server struct {
 // Mutator makes the deployment read-only: POST /insert and /delete
 // answer 501. Backends that also implement nwcq.Introspector and
 // nwcq.SlowLogger unlock /stats and /debug/slowlog; others get 501
-// there too.
-func New(q nwcq.Querier, m nwcq.Mutator) *Server {
+// there too. Options attach the readiness gate (WithHealth) and the
+// sampled wide-event query log (WithQueryLog).
+func New(q nwcq.Querier, m nwcq.Mutator, opts ...Option) *Server {
 	s := &Server{idx: q, mut: m, endpoints: make(map[string]*endpointStats)}
-	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog"} {
+	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog", "batch_nwc", "batch_knwc"} {
 		s.endpoints[name] = newEndpointStats()
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	return s
 }
@@ -104,7 +117,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
+	mux.HandleFunc("POST /batch/nwc", s.instrument("batch_nwc", s.handleBatchNWC))
+	mux.HandleFunc("POST /batch/knwc", s.instrument("batch_knwc", s.handleBatchKNWC))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.health != nil && !s.health.Ready() {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -312,11 +335,14 @@ func (s *Server) handleNWC(w http.ResponseWriter, r *http.Request) {
 		res nwcq.Result
 		qt  *nwcq.QueryTrace
 	)
+	ctx, ev := s.qlog.attach(r.Context())
+	start := time.Now()
 	if wantExplain(r) {
-		res, qt, err = s.idx.ExplainNWC(r.Context(), q)
+		res, qt, err = s.idx.ExplainNWC(ctx, q)
 	} else {
-		res, err = s.idx.NWCCtx(r.Context(), q)
+		res, err = s.idx.NWCCtx(ctx, q)
 	}
+	s.qlog.emit("nwc", q, 0, 0, time.Since(start), res.Found, ev, err)
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
@@ -363,11 +389,14 @@ func (s *Server) handleKNWC(w http.ResponseWriter, r *http.Request) {
 		res nwcq.KResult
 		qt  *nwcq.QueryTrace
 	)
+	ctx, ev := s.qlog.attach(r.Context())
+	start := time.Now()
 	if wantExplain(r) {
-		res, qt, err = s.idx.ExplainKNWC(r.Context(), kq)
+		res, qt, err = s.idx.ExplainKNWC(ctx, kq)
 	} else {
-		res, err = s.idx.KNWCCtx(r.Context(), kq)
+		res, err = s.idx.KNWCCtx(ctx, kq)
 	}
+	s.qlog.emit("knwc", q, k, m, time.Since(start), res.Found, ev, err)
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return

@@ -370,13 +370,12 @@ func TestSlowlogEndpoint(t *testing.T) {
 // metric_name{label="v",...} value
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? \S+$`)
 
-func TestMetricsPrometheusFormat(t *testing.T) {
-	_, ts := testServer(t)
-	var tmp nwcResponse
-	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
-	getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=3&k=2", &struct{}{})
-
-	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+// scrapeProm fetches /metrics?format=prometheus, validates every line
+// of the exposition, and returns sample values keyed by full series
+// name plus the declared TYPE per family.
+func scrapeProm(t *testing.T, baseURL string) (values map[string]float64, typed map[string]string) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics?format=prometheus")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,9 +386,8 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
 		t.Errorf("content type %q", ct)
 	}
-
-	values := map[string]float64{}
-	typed := map[string]string{}
+	values = map[string]float64{}
+	typed = map[string]string{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
@@ -423,22 +421,19 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
+	return values, typed
+}
 
-	if v := values[`nwcq_queries_total{kind="nwc"}`]; v != 1 {
-		t.Errorf("nwcq_queries_total{kind=nwc} = %g, want 1", v)
-	}
-	if v := values[`nwcq_index_points`]; v != 3000 {
-		t.Errorf("nwcq_index_points = %g", v)
-	}
-	if typed["nwcq_query_latency_seconds"] != "histogram" {
-		t.Errorf("latency family type = %q", typed["nwcq_query_latency_seconds"])
-	}
-	// Histogram invariants: +Inf bucket equals count, buckets cumulative.
+// checkPromHistogram asserts the histogram invariants for one labelled
+// series — buckets cumulative, +Inf bucket equal to the _count sample —
+// and returns the observation count.
+func checkPromHistogram(t *testing.T, values map[string]float64, family, labels string) float64 {
+	t.Helper()
 	inf := -1.0
 	type bkt struct{ le, v float64 }
 	var buckets []bkt
 	for name, v := range values {
-		if !strings.HasPrefix(name, `nwcq_query_latency_seconds_bucket{kind="nwc"`) {
+		if !strings.HasPrefix(name, family+"_bucket{"+labels) {
 			continue
 		}
 		le := name[strings.Index(name, `le="`)+4:]
@@ -453,19 +448,73 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		}
 		buckets = append(buckets, bkt{f, v})
 	}
+	if len(buckets) == 0 {
+		t.Errorf("%s{%s}: no buckets in exposition", family, labels)
+		return 0
+	}
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
 	for i := 1; i < len(buckets); i++ {
 		if buckets[i].v < buckets[i-1].v {
-			t.Errorf("bucket le=%g count %g < previous %g: not cumulative", buckets[i].le, buckets[i].v, buckets[i-1].v)
+			t.Errorf("%s{%s} bucket le=%g count %g < previous %g: not cumulative",
+				family, labels, buckets[i].le, buckets[i].v, buckets[i-1].v)
 		}
 	}
-	count := values[`nwcq_query_latency_seconds_count{kind="nwc"}`]
-	if inf != count || count != 1 {
-		t.Errorf("+Inf bucket %g != count %g (want 1)", inf, count)
+	count := values[family+"_count{"+labels+"}"]
+	if inf != count {
+		t.Errorf("%s{%s}: +Inf bucket %g != count %g", family, labels, inf, count)
+	}
+	return count
+}
+
+// checkBuildInfo pins the nwcq_build_info gauge: a gauge family with
+// exactly one series, constant value 1, identity in labels.
+func checkBuildInfo(t *testing.T, values map[string]float64, typed map[string]string) {
+	t.Helper()
+	if typed["nwcq_build_info"] != "gauge" {
+		t.Errorf("nwcq_build_info type = %q, want gauge", typed["nwcq_build_info"])
+	}
+	series := 0
+	for name, v := range values {
+		if !strings.HasPrefix(name, "nwcq_build_info{") {
+			continue
+		}
+		series++
+		if v != 1 {
+			t.Errorf("%s = %g, want constant 1", name, v)
+		}
+		if !strings.Contains(name, `go_version="go`) || !strings.Contains(name, `version="`) {
+			t.Errorf("build info labels incomplete: %s", name)
+		}
+	}
+	if series != 1 {
+		t.Errorf("nwcq_build_info series = %d, want 1", series)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	_, ts := testServer(t)
+	var tmp nwcResponse
+	getJSON(t, ts.URL+"/nwc?x=500&y=500&l=50&w=50&n=3", &tmp)
+	getJSON(t, ts.URL+"/knwc?x=500&y=500&l=80&w=80&n=3&k=2", &struct{}{})
+
+	values, typed := scrapeProm(t, ts.URL)
+
+	if v := values[`nwcq_queries_total{kind="nwc"}`]; v != 1 {
+		t.Errorf("nwcq_queries_total{kind=nwc} = %g, want 1", v)
+	}
+	if v := values[`nwcq_index_points`]; v != 3000 {
+		t.Errorf("nwcq_index_points = %g", v)
+	}
+	if typed["nwcq_query_latency_seconds"] != "histogram" {
+		t.Errorf("latency family type = %q", typed["nwcq_query_latency_seconds"])
+	}
+	if count := checkPromHistogram(t, values, "nwcq_query_latency_seconds", `kind="nwc"`); count != 1 {
+		t.Errorf("latency count = %g, want 1", count)
 	}
 	if values[`nwcq_http_requests_total{endpoint="nwc"}`] != 1 {
 		t.Errorf("http requests for nwc = %g", values[`nwcq_http_requests_total{endpoint="nwc"}`])
 	}
+	checkBuildInfo(t, values, typed)
 }
 
 func TestConcurrentRequests(t *testing.T) {

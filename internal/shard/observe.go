@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"io"
 	"sort"
 	"strconv"
@@ -33,6 +34,20 @@ const (
 
 var rKindNames = [rKindCount]string{"nwc", "knwc", "nearest", "window", "insert", "delete"}
 
+// Routed-query phases for latency attribution: scatter (per-shard local
+// queries), border (cross-shard candidate fetches) and merge (candidate
+// enumeration plus greedy merging). Every routed NWC/kNWC execution
+// records its wall-clock split across the three, so a router tail spike
+// is attributable to the phase that caused it.
+const (
+	phaseScatter = iota
+	phaseBorder
+	phaseMerge
+	phaseCount
+)
+
+var phaseNames = [phaseCount]string{"scatter", "border", "merge"}
+
 // routerMetrics mirrors the single-index queryMetrics shape, plus the
 // routing counters. All atomics; no lock touches the query path.
 type routerMetrics struct {
@@ -56,16 +71,33 @@ type routerMetrics struct {
 	// inflight gauges shard queries currently running in scatter
 	// workers (zero on the sequential path).
 	inflight atomic.Int64
+
+	// phase holds the scatter/border/merge latency histograms, recorded
+	// once per routed NWC/kNWC execution (cache hits route nothing and
+	// record nothing).
+	phase [phaseCount]*metrics.Histogram // seconds
+
+	// slow is the router-level slow-query ring: whole routed queries
+	// (end-to-end, including scatter, border fetches and merging) that
+	// exceeded the shared threshold, alongside the per-shard rings that
+	// record each shard's local share.
+	slow *metrics.Ring[nwcq.SlowQueryEntry]
 }
 
 func newRouterMetrics() *routerMetrics {
-	m := &routerMetrics{}
+	m := &routerMetrics{slow: metrics.NewRing[nwcq.SlowQueryEntry](slowLogSize)}
 	for k := range m.latency {
 		m.latency[k] = metrics.MustHistogram(metrics.ExponentialBounds(1e-6, 2, 24))
 		m.visits[k] = metrics.MustHistogram(metrics.ExponentialBounds(1, 2, 24))
 	}
+	for p := range m.phase {
+		m.phase[p] = metrics.MustHistogram(metrics.ExponentialBounds(1e-6, 2, 24))
+	}
 	return m
 }
+
+// slowLogSize matches the single-index ring size (nwcq.slowLogSize).
+const slowLogSize = 128
 
 func schemeBits(s nwcq.Scheme) int {
 	srr, dip, dep, iwp := s.Flags()
@@ -139,6 +171,7 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 	out := nwcq.MetricsSnapshot{
 		CollectedAt:          now,
 		UptimeSeconds:        now.Sub(s.created).Seconds(),
+		Build:                metrics.Build(),
 		Queries:              make(map[string]nwcq.QueryKindMetrics, int(rKindCount)),
 		SchemeCounts:         make(map[string]uint64),
 		CumulativeNodeVisits: s.IOStats(),
@@ -223,6 +256,17 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 		Parallelism:      s.parallelism(),
 		InflightWorkers:  m.inflight.Load(),
 		BoundTightenings: rs.BoundTightenings,
+		Phases:           make(map[string]nwcq.RouterPhaseMetrics, phaseCount),
+	}
+	for p := 0; p < phaseCount; p++ {
+		ph := m.phase[p].Snapshot()
+		out.Router.Phases[phaseNames[p]] = nwcq.RouterPhaseMetrics{
+			Count:         ph.Count,
+			LatencyMeanMs: ph.Mean() * 1e3,
+			LatencyP50Ms:  ph.Quantile(0.50) * 1e3,
+			LatencyP95Ms:  ph.Quantile(0.95) * 1e3,
+			LatencyP99Ms:  ph.Quantile(0.99) * 1e3,
+		}
 	}
 	if c := s.rcache; c != nil {
 		st := c.stats()
@@ -248,6 +292,7 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 func (s *Sharded) WritePrometheus(w io.Writer) error {
 	m := s.obs
 	pw := &metrics.PromWriter{W: w}
+	pw.BuildInfoProm()
 	pw.Header("nwcq_queries_total", "counter", "Queries served, by operation kind.")
 	for k := rKind(0); k < rKindCount; k++ {
 		pw.Value("nwcq_queries_total", metrics.Labels{"kind", rKindNames[k]}, float64(m.queries[k].Value()))
@@ -302,6 +347,12 @@ func (s *Sharded) WritePrometheus(w io.Writer) error {
 		pw.Header(c.name, "counter", c.help)
 		pw.Value(c.name, nil, float64(c.v))
 	}
+	pw.Header("nwcq_router_phase_seconds", "histogram", "Routed-query wall time split by phase (scatter, border, merge).")
+	for p := 0; p < phaseCount; p++ {
+		pw.Histogram("nwcq_router_phase_seconds", metrics.Labels{"phase", phaseNames[p]}, m.phase[p].Snapshot())
+	}
+	pw.Header("nwcq_slow_queries_total", "counter", "Routed queries that exceeded the slow-query threshold.")
+	pw.Value("nwcq_slow_queries_total", nil, float64(m.slow.Recorded()))
 	pw.Header("nwcq_parallel_workers", "gauge", "Configured scatter worker width (resolved; GOMAXPROCS when unset).")
 	pw.Value("nwcq_parallel_workers", nil, float64(s.parallelism()))
 	pw.Header("nwcq_parallel_inflight", "gauge", "Shard queries currently running in scatter workers.")
@@ -371,18 +422,53 @@ func (s *Sharded) SlowQueryThreshold() time.Duration {
 }
 
 // SetSlowQueryThreshold adjusts the slow-query threshold on every
-// shard at runtime.
+// shard at runtime. The router-level log shares the shards' threshold.
 func (s *Sharded) SetSlowQueryThreshold(threshold time.Duration) {
 	for _, ix := range s.shards {
 		ix.SetSlowQueryThreshold(threshold)
 	}
 }
 
-// SlowQueries merges the shards' slow-query logs, newest first.
+// noteSlowRouted records one routed query in the router-level slow ring
+// when it exceeded the threshold. Unlike the shard entries (one shard's
+// local share each), a router entry covers the whole routed execution:
+// scatter, border fetches and merging. Validation failures never
+// executed and are not recorded, matching the single-index rule.
+func (s *Sharded) noteSlowRouted(kind string, q nwcq.Query, k, m int, start time.Time, elapsed time.Duration, visits uint64, err error) {
+	th := s.SlowQueryThreshold()
+	if th <= 0 || elapsed < th || errors.Is(err, nwcq.ErrInvalidQuery) {
+		return
+	}
+	e := &nwcq.SlowQueryEntry{
+		Kind:    kind,
+		Scheme:  q.Scheme.String(),
+		Measure: q.Measure.String(),
+		X:       q.X, Y: q.Y, Length: q.Length, Width: q.Width, N: q.N,
+		K: k, M: m,
+		StartedAt: start, Duration: elapsed, NodeVisits: visits,
+		Source: "router",
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	s.obs.slow.Put(e)
+}
+
+// SlowQueries merges the router-level ring with the shards' local
+// rings, newest first. Router entries carry Source "router" (whole
+// routed queries); shard entries are stamped "shard<i>" so one slow
+// routed query is attributable to the shard that dominated it.
 func (s *Sharded) SlowQueries() []nwcq.SlowQueryEntry {
 	var out []nwcq.SlowQueryEntry
-	for _, ix := range s.shards {
-		out = append(out, ix.SlowQueries()...)
+	for _, p := range s.obs.slow.Snapshot() {
+		out = append(out, *p)
+	}
+	for i, ix := range s.shards {
+		src := "shard" + strconv.Itoa(i)
+		for _, e := range ix.SlowQueries() {
+			e.Source = src
+			out = append(out, e)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].StartedAt.After(out[j].StartedAt) })
 	return out

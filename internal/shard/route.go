@@ -14,6 +14,7 @@ import (
 	"nwcq/internal/core"
 	"nwcq/internal/geom"
 	wpool "nwcq/internal/pool"
+	"nwcq/internal/qevent"
 	"nwcq/internal/rstar"
 )
 
@@ -115,6 +116,52 @@ func addStats(a, b nwcq.Stats) nwcq.Stats {
 	return a
 }
 
+// routeStats accumulates one routed query's attribution: the fan-out
+// counts and the wall-clock split across the scatter, border and merge
+// phases. It is owned by the routed query's goroutine; on the parallel
+// scatter path workers update the count fields under the scatter mutex.
+// finishRoute flushes it once — into the global aggregates, the phase
+// histograms, and the request's wide event when one is attached.
+type routeStats struct {
+	shardsQueried int
+	shardsPruned  int
+	borderFetches int
+	borderPoints  int
+	fetchReruns   int
+	scatter       time.Duration
+	border        time.Duration
+	merge         time.Duration
+}
+
+// finishRoute flushes one routed execution's attribution. Counters move
+// to the global aggregates in one batch (same totals as the old inline
+// increments, one visibility point). The phase histograms record every
+// routed execution — a phase that never ran records zero, keeping the
+// three counts equal so their quantiles are comparable.
+func (s *Sharded) finishRoute(rt *routeStats, ev *qevent.Event) {
+	m := s.obs
+	m.shardQueries.Add(uint64(rt.shardsQueried))
+	m.shardsPruned.Add(uint64(rt.shardsPruned))
+	m.borderFetches.Add(uint64(rt.borderFetches))
+	m.borderPoints.Add(uint64(rt.borderPoints))
+	m.fetchReruns.Add(uint64(rt.fetchReruns))
+	m.phase[phaseScatter].Observe(rt.scatter.Seconds())
+	m.phase[phaseBorder].Observe(rt.border.Seconds())
+	m.phase[phaseMerge].Observe(rt.merge.Seconds())
+	if ev != nil {
+		ev.Router = &qevent.Router{
+			ShardsQueried: rt.shardsQueried,
+			ShardsPruned:  rt.shardsPruned,
+			BorderFetches: rt.borderFetches,
+			BorderPoints:  rt.borderPoints,
+			FetchReruns:   rt.fetchReruns,
+			ScatterNs:     rt.scatter.Nanoseconds(),
+			BorderNs:      rt.border.Nanoseconds(),
+			MergeNs:       rt.merge.Nanoseconds(),
+		}
+	}
+}
+
 // visitOrder returns shard indexes with home first and the rest in
 // ascending MINDIST(q, bounds) order — the scatter schedule.
 func (s *Sharded) visitOrder(qp geom.Point, bounds []geom.Rect, home int) []int {
@@ -144,7 +191,9 @@ func fetchBox(q nwcq.Query, d float64) geom.Rect {
 // fetch. With parallelism above one the per-shard window queries fan
 // out over the worker pool; results are concatenated in shard order
 // either way, so the fetched sequence is deterministic.
-func (s *Sharded) fetchPoints(bounds []geom.Rect, fetch geom.Rect) ([]geom.Point, error) {
+func (s *Sharded) fetchPoints(bounds []geom.Rect, fetch geom.Rect, rt *routeStats) ([]geom.Point, error) {
+	start := time.Now()
+	defer func() { rt.border += time.Since(start) }()
 	idxs := make([]int, 0, len(s.shards))
 	for i := range s.shards {
 		if bounds[i].Intersects(fetch) {
@@ -171,8 +220,8 @@ func (s *Sharded) fetchPoints(bounds []geom.Rect, fetch geom.Rect) ([]geom.Point
 	for _, part := range parts {
 		out = append(out, part...)
 	}
-	s.obs.borderFetches.Inc()
-	s.obs.borderPoints.Add(uint64(len(out)))
+	rt.borderFetches++
+	rt.borderPoints += len(out)
 	return out, nil
 }
 
@@ -216,18 +265,29 @@ func (s *Sharded) NWCCtx(ctx context.Context, q nwcq.Query) (nwcq.Result, error)
 		visits = 0
 	}
 	s.obs.observe(rNWC, q.Scheme, elapsed, visits, err)
+	s.noteSlowRouted("nwc", q, 0, 0, start, elapsed, visits, err)
 	return res, err
 }
 
 func (s *Sharded) nwcCached(ctx context.Context, q nwcq.Query) (nwcq.Result, bool, error) {
+	ev := qevent.From(ctx)
 	c := s.rcache
 	if c == nil {
+		if ev != nil {
+			ev.Cache = qevent.CacheOff
+		}
 		res, err := s.nwc(ctx, q, nil)
 		return res, false, err
 	}
 	gen := s.generation()
 	if res, ok := c.nwc.Get(gen, q); ok {
+		if ev != nil {
+			ev.Cache = qevent.CacheHit
+		}
 		return res, true, nil
+	}
+	if ev != nil {
+		ev.Cache = qevent.CacheMiss
 	}
 	res, err := c.nwc.Do(ctx, gen, q, func() (nwcq.Result, error) {
 		return s.nwc(ctx, q, nil)
@@ -256,11 +316,20 @@ func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) 
 	if err != nil {
 		return nwcq.Result{}, err
 	}
+	// The router owns the request's wide event at routed-query
+	// granularity: read it here, then run the fan-out detached so the
+	// per-shard indexes (and their caches) never see — or race on — it.
+	ev := qevent.From(ctx)
+	ctx = qevent.Detach(ctx)
+	rt := &routeStats{}
+	defer func() { s.finishRoute(rt, ev) }()
 	qp := geom.Point{X: q.X, Y: q.Y}
 	bounds := s.shardBounds()
 	home := s.shardFor(q.X, q.Y)
 
-	out, best, err := s.scatterNWC(ctx, q, qp, bounds, home, col)
+	scatterStart := time.Now()
+	out, best, err := s.scatterNWC(ctx, q, qp, bounds, home, col, rt)
+	rt.scatter = time.Since(scatterStart)
 	if err != nil {
 		return nwcq.Result{Stats: out.Stats}, err
 	}
@@ -273,15 +342,17 @@ func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) 
 		if intersecting(bounds, fetch) <= 1 {
 			return out, nil
 		}
-		pts, err := s.fetchPoints(bounds, fetch)
+		pts, err := s.fetchPoints(bounds, fetch, rt)
 		if err != nil {
 			return nwcq.Result{Stats: out.Stats}, err
 		}
 		col.borderDone(len(pts))
+		mergeStart := time.Now()
 		cands := core.CandidateGroups(pts, coreQuery(q), measure)
 		if len(cands) > 0 && cands[0].Dist < best {
 			out.Group = groupOut(cands[0])
 		}
+		rt.merge += time.Since(mergeStart)
 		return out, nil
 	}
 
@@ -289,15 +360,17 @@ func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) 
 	// must mix points from several shards, so enumerate candidates over
 	// the full dataset (the no-local-answer case is the one place the
 	// fetch cannot be bounded by a distance).
-	pts, err := s.fetchPoints(bounds, allBounds(bounds))
+	pts, err := s.fetchPoints(bounds, allBounds(bounds), rt)
 	if err != nil {
 		return nwcq.Result{Stats: out.Stats}, err
 	}
 	col.borderDone(len(pts))
+	mergeStart := time.Now()
 	if cands := core.CandidateGroups(pts, coreQuery(q), measure); len(cands) > 0 {
 		out.Found = true
 		out.Group = groupOut(cands[0])
 	}
+	rt.merge += time.Since(mergeStart)
 	return out, nil
 }
 
@@ -318,7 +391,7 @@ func (s *Sharded) nwc(ctx context.Context, q nwcq.Query, col *explainCollector) 
 // global best B, so claim-time pruning only skips shards whose every
 // group is ≥ B, and in-traversal pruning only elides groups ≥ B —
 // both invisible to the merge, whose minimum is exactly B either way.
-func (s *Sharded) scatterNWC(ctx context.Context, q nwcq.Query, qp geom.Point, bounds []geom.Rect, home int, col *explainCollector) (nwcq.Result, float64, error) {
+func (s *Sharded) scatterNWC(ctx context.Context, q nwcq.Query, qp geom.Point, bounds []geom.Rect, home int, col *explainCollector, rt *routeStats) (nwcq.Result, float64, error) {
 	order := s.visitOrder(qp, bounds, home)
 	workers := s.scatterWorkers(len(order))
 	out := nwcq.Result{}
@@ -327,14 +400,14 @@ func (s *Sharded) scatterNWC(ctx context.Context, q nwcq.Query, qp geom.Point, b
 	if workers <= 1 {
 		for _, i := range order {
 			if i != home && bounds[i].MinDist(qp) > best {
-				s.obs.shardsPruned.Inc()
+				rt.shardsPruned++
 				continue
 			}
 			r, err := s.shardNWC(ctx, i, q, col)
 			if err != nil {
 				return out, best, err
 			}
-			s.obs.shardQueries.Inc()
+			rt.shardsQueried++
 			out.Stats = addStats(out.Stats, r.Stats)
 			if r.Found && r.Dist < best {
 				best = r.Dist
@@ -365,7 +438,7 @@ func (s *Sharded) scatterNWC(ctx context.Context, q nwcq.Query, qp geom.Point, b
 			i := order[next]
 			next++
 			if i != home && bounds[i].MinDist(qp) > sb.Load() {
-				s.obs.shardsPruned.Inc()
+				rt.shardsPruned++
 				continue
 			}
 			return i, true
@@ -396,7 +469,7 @@ func (s *Sharded) scatterNWC(ctx context.Context, q nwcq.Query, qp geom.Point, b
 						mu.Unlock()
 						return
 					}
-					s.obs.shardQueries.Inc()
+					rt.shardsQueried++
 					out.Stats = addStats(out.Stats, r.Stats)
 					if r.Found && r.Dist < best {
 						best = r.Dist
@@ -444,18 +517,29 @@ func (s *Sharded) KNWCCtx(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, err
 		visits = 0
 	}
 	s.obs.observe(rKNWC, q.Scheme, elapsed, visits, err)
+	s.noteSlowRouted("knwc", q.Query, q.K, q.M, start, elapsed, visits, err)
 	return res, err
 }
 
 func (s *Sharded) knwcCached(ctx context.Context, q nwcq.KQuery) (nwcq.KResult, bool, error) {
+	ev := qevent.From(ctx)
 	c := s.rcache
 	if c == nil {
+		if ev != nil {
+			ev.Cache = qevent.CacheOff
+		}
 		res, err := s.knwc(ctx, q, nil)
 		return res, false, err
 	}
 	gen := s.generation()
 	if res, ok := c.knwc.Get(gen, q); ok {
+		if ev != nil {
+			ev.Cache = qevent.CacheHit
+		}
 		return res, true, nil
+	}
+	if ev != nil {
+		ev.Cache = qevent.CacheMiss
 	}
 	res, err := c.knwc.Do(ctx, gen, q, func() (nwcq.KResult, error) {
 		return s.knwc(ctx, q, nil)
@@ -516,12 +600,18 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 	if err != nil {
 		return nwcq.KResult{}, err
 	}
+	ev := qevent.From(ctx)
+	ctx = qevent.Detach(ctx)
+	rt := &routeStats{}
+	defer func() { s.finishRoute(rt, ev) }()
 	qp := geom.Point{X: q.X, Y: q.Y}
 	bounds := s.shardBounds()
 	home := s.shardFor(q.X, q.Y)
 	cq := coreQuery(q.Query)
 
-	stats, pool, est, err := s.scatterKNWC(ctx, q, qp, bounds, home, col)
+	scatterStart := time.Now()
+	stats, pool, est, err := s.scatterKNWC(ctx, q, qp, bounds, home, col, rt)
+	rt.scatter = time.Since(scatterStart)
 	if err != nil {
 		return nwcq.KResult{Stats: stats}, err
 	}
@@ -533,7 +623,10 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 	// if its MINDIST ended up below the final estimate, its bounds
 	// intersect the fetch box and the fast path is off.)
 	if !math.IsInf(est, 1) && intersecting(bounds, fetchBox(q.Query, est)) <= 1 {
-		return s.mergedKResult(pool, q, stats), nil
+		mergeStart := time.Now()
+		out := s.mergedKResult(pool, q, stats)
+		rt.merge += time.Since(mergeStart)
+		return out, nil
 	}
 
 	// Certification loop: fetch box(D), merge the candidate list
@@ -546,18 +639,19 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 	whole := allBounds(bounds)
 	for iter := 0; ; iter++ {
 		if iter > 0 {
-			s.obs.fetchReruns.Inc()
+			rt.fetchReruns++
 		}
 		fetch := fetchBox(q.Query, d)
 		complete := fetch.ContainsRect(whole)
 		if complete {
 			fetch = whole
 		}
-		pts, err := s.fetchPoints(bounds, fetch)
+		pts, err := s.fetchPoints(bounds, fetch, rt)
 		if err != nil {
 			return nwcq.KResult{Stats: stats}, err
 		}
 		col.borderDone(len(pts))
+		mergeStart := time.Now()
 		var groups []core.Group
 		for _, g := range core.CandidateGroups(pts, cq, measure) {
 			if !complete && g.Dist > d {
@@ -570,6 +664,7 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 				}
 			}
 		}
+		rt.merge += time.Since(mergeStart)
 		if len(groups) == q.K || complete {
 			out := nwcq.KResult{Found: len(groups) > 0, Stats: stats}
 			for _, g := range groups {
@@ -595,7 +690,7 @@ func (s *Sharded) knwc(ctx context.Context, q nwcq.KQuery, col *explainCollector
 // shard skipped against a transiently small estimate either stays
 // irrelevant (MINDIST above the final estimate) or disables the fast
 // path and is covered by the certification fetch.
-func (s *Sharded) scatterKNWC(ctx context.Context, q nwcq.KQuery, qp geom.Point, bounds []geom.Rect, home int, col *explainCollector) (nwcq.Stats, []core.Group, float64, error) {
+func (s *Sharded) scatterKNWC(ctx context.Context, q nwcq.KQuery, qp geom.Point, bounds []geom.Rect, home int, col *explainCollector, rt *routeStats) (nwcq.Stats, []core.Group, float64, error) {
 	order := s.visitOrder(qp, bounds, home)
 	workers := s.scatterWorkers(len(order))
 	var stats nwcq.Stats
@@ -605,14 +700,14 @@ func (s *Sharded) scatterKNWC(ctx context.Context, q nwcq.KQuery, qp geom.Point,
 	if workers <= 1 {
 		for _, i := range order {
 			if i != home && bounds[i].MinDist(qp) > est {
-				s.obs.shardsPruned.Inc()
+				rt.shardsPruned++
 				continue
 			}
 			kr, err := s.shardKNWC(ctx, i, q, col)
 			if err != nil {
 				return stats, pool, est, err
 			}
-			s.obs.shardQueries.Inc()
+			rt.shardsQueried++
 			stats = addStats(stats, kr.Stats)
 			for _, g := range kr.Groups {
 				pool = append(pool, groupIn(g))
@@ -637,7 +732,7 @@ func (s *Sharded) scatterKNWC(ctx context.Context, q nwcq.KQuery, qp geom.Point,
 			i := order[next]
 			next++
 			if i != home && bounds[i].MinDist(qp) > est {
-				s.obs.shardsPruned.Inc()
+				rt.shardsPruned++
 				continue
 			}
 			return i, true
@@ -666,7 +761,7 @@ func (s *Sharded) scatterKNWC(ctx context.Context, q nwcq.KQuery, qp geom.Point,
 						mu.Unlock()
 						return
 					}
-					s.obs.shardQueries.Inc()
+					rt.shardsQueried++
 					stats = addStats(stats, kr.Stats)
 					for _, g := range kr.Groups {
 						pool = append(pool, groupIn(g))
@@ -773,6 +868,9 @@ func (s *Sharded) NWCBatch(queries []nwcq.Query, opt nwcq.BatchOptions) ([]nwcq.
 // NWCBatchCtx fans routed NWC queries over a worker pool; the first
 // error aborts the batch, matching the single-index semantics.
 func (s *Sharded) NWCBatchCtx(ctx context.Context, queries []nwcq.Query, opt nwcq.BatchOptions) ([]nwcq.Result, error) {
+	// A wide event is owned by one request; the batch fan-out runs
+	// detached so concurrent members never race on it.
+	ctx = qevent.Detach(ctx)
 	results := make([]nwcq.Result, len(queries))
 	err := wpool.Each(len(queries), s.batchWorkers(opt), func(i int) error {
 		res, err := s.NWCCtx(ctx, queries[i])
@@ -795,6 +893,7 @@ func (s *Sharded) KNWCBatch(queries []nwcq.KQuery, opt nwcq.BatchOptions) ([]nwc
 
 // KNWCBatchCtx is the kNWC batch form of NWCBatchCtx.
 func (s *Sharded) KNWCBatchCtx(ctx context.Context, queries []nwcq.KQuery, opt nwcq.BatchOptions) ([]nwcq.KResult, error) {
+	ctx = qevent.Detach(ctx)
 	results := make([]nwcq.KResult, len(queries))
 	err := wpool.Each(len(queries), s.batchWorkers(opt), func(i int) error {
 		res, err := s.KNWCCtx(ctx, queries[i])

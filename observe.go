@@ -147,6 +147,9 @@ type MetricsSnapshot struct {
 	// time since the index was built or opened.
 	CollectedAt   time.Time `json:"collected_at"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
+	// Build identifies the serving binary (module version and Go
+	// toolchain), so archived snapshots stay attributable to a build.
+	Build BuildInfo `json:"build"`
 	// Queries maps operation name ("nwc", "knwc", "nearest", "window")
 	// to its aggregates.
 	Queries map[string]QueryKindMetrics `json:"queries"`
@@ -212,6 +215,25 @@ type RouterMetrics struct {
 	// scatter bound cell by in-flight shard traversals — how often the
 	// parallel workers actually helped each other prune.
 	BoundTightenings uint64 `json:"bound_tightenings"`
+	// Phases maps routed-query phase name ("scatter", "border", "merge")
+	// to its latency distribution: every routed NWC/kNWC execution
+	// records its wall-clock split across the three phases, so a router
+	// tail-latency spike can be attributed to shard fan-out, border
+	// fetching or candidate merging without tracing individual queries.
+	Phases map[string]RouterPhaseMetrics `json:"phases,omitempty"`
+}
+
+// RouterPhaseMetrics summarises one routed-query phase's latency
+// distribution. Latencies are milliseconds; quantiles are histogram
+// estimates. Count is the number of routed executions observed (equal
+// across the phases: every routed query records all three, with zero
+// duration for phases it skipped).
+type RouterPhaseMetrics struct {
+	Count         uint64  `json:"count"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 }
 
 // Metrics returns aggregated latency, error and I/O statistics over
@@ -223,6 +245,7 @@ func (ix *Index) Metrics() MetricsSnapshot {
 	out := MetricsSnapshot{
 		CollectedAt:          now,
 		UptimeSeconds:        now.Sub(ix.created).Seconds(),
+		Build:                metrics.Build(),
 		Queries:              make(map[string]QueryKindMetrics, kindCount),
 		SchemeCounts:         make(map[string]uint64),
 		CumulativeNodeVisits: ix.cur.Load().tree.Visits(),
@@ -290,6 +313,7 @@ func (ix *Index) Metrics() MetricsSnapshot {
 func (ix *Index) WritePrometheus(w io.Writer) error {
 	m := ix.obs
 	pw := &promWriter{W: w}
+	pw.BuildInfoProm()
 	pw.Header("nwcq_queries_total", "counter", "Queries served, by operation kind.")
 	for k := queryKind(0); k < kindCount; k++ {
 		pw.Value("nwcq_queries_total", labels{"kind", kindNames[k]}, float64(m.queries[k].Value()))
@@ -395,8 +419,13 @@ func writeResultCacheProm(pw *promWriter, rc *ResultCacheMetrics) {
 }
 
 // The Prometheus text-format writer lives in internal/metrics (prom.go)
-// so the shard router's aggregated exposition shares one renderer.
+// so the shard router's aggregated exposition shares one renderer, and
+// the build identity (buildinfo.go) is shared the same way.
 type (
 	labels     = metrics.Labels
 	promWriter = metrics.PromWriter
+
+	// BuildInfo is the serving binary's identity (module version, Go
+	// toolchain), carried in every MetricsSnapshot.
+	BuildInfo = metrics.BuildInfo
 )

@@ -263,6 +263,11 @@ type SlowQueryEntry struct {
 	StartedAt  time.Time     `json:"started_at"`
 	Duration   time.Duration `json:"duration_ns"`
 	NodeVisits uint64        `json:"node_visits"`
+	// Source names the level that recorded the entry in a sharded
+	// deployment: "router" for whole routed queries (end-to-end time
+	// including scatter, border fetches and merging) or "shard<i>" for
+	// one shard's local share. Empty on a single-index backend.
+	Source string `json:"source,omitempty"`
 	// Error is set when the query failed (including cancellation).
 	Error string `json:"error,omitempty"`
 }
