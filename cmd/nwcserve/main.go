@@ -6,6 +6,7 @@
 //	nwcserve -data ca.csv -index ca.nwc        # paged, WAL-protected
 //	nwcserve -index ca.nwc                     # reopen (crash recovery)
 //	nwcserve -data ca.csv -shards 4 -parallelism 4 -result-cache 1024
+//	nwcserve -follow http://leader:8080 -index replica.nwc -addr :8081
 
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8'
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8&explain=1'
@@ -36,6 +37,12 @@
 // outcome, engine phases, shard fan-out and the router's
 // scatter/border/merge split); profiling endpoints are mounted under
 // /debug/pprof/.
+//
+// With -follow the process is a read replica: it opens (or creates) its
+// own paged index at -index, tails the leader's WAL over
+// GET /wal/stream, and serves queries only — mutations answer 501.
+// /readyz additionally gates on the replica having caught up within
+// -max-replica-lag, so load balancers never route to a stale follower.
 package main
 
 import (
@@ -56,6 +63,7 @@ import (
 
 	"nwcq"
 	"nwcq/internal/datagen"
+	"nwcq/internal/repl"
 	"nwcq/internal/server"
 	"nwcq/internal/shard"
 )
@@ -73,6 +81,8 @@ func main() {
 		walSync     = flag.String("wal-sync", "always", "WAL fsync policy for -index: always, interval or never")
 		walInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync cadence when -wal-sync=interval")
 		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		follow      = flag.String("follow", "", "run as a read replica of this leader URL (e.g. http://leader:8080); requires -index, serves reads only")
+		maxLag      = flag.Duration("max-replica-lag", 10*time.Second, "with -follow: /readyz answers 503 once the replica lags the leader by more than this (0 disables the gate)")
 		logFormat   = flag.String("log-format", "text", "access log format: text or json")
 		accessLog   = flag.Bool("access-log", true, "log every HTTP request")
 		querySample = flag.Int("query-log-sample", 0, "sample 1 in N NWC/kNWC requests into the wide-event query log (0 disables)")
@@ -128,14 +138,36 @@ func main() {
 	go func() { errc <- srv.Serve(ln) }()
 	logger.Info("listening, opening backend", "addr", *addr)
 
-	qr, mu, closeIndex, err := openBackend(logger, *data, *index, *shards, *parallelism, *resultCache, opts)
-	if err != nil {
-		fatal(logger, err)
-	}
-
 	srvOpts := []server.Option{server.WithHealth(health)}
 	if *querySample > 0 {
 		srvOpts = append(srvOpts, server.WithQueryLog(logger, *querySample))
+	}
+	var (
+		qr           nwcq.Querier
+		mu           nwcq.Mutator
+		closeIndex   func() error
+		followerDone chan struct{}
+	)
+	if *follow != "" {
+		px, follower, err := openFollower(logger, *follow, *index, *data, *shards, *maxLag, *parallelism, *resultCache, opts)
+		if err != nil {
+			fatal(logger, err)
+		}
+		// Reads only: a nil Mutator makes /insert and /delete answer 501,
+		// so the leader's WAL stays the single source of mutations.
+		qr, mu, closeIndex = px, nil, px.Close
+		followerDone = make(chan struct{})
+		go func() {
+			defer close(followerDone)
+			follower.Run(ctx)
+		}()
+		srvOpts = append(srvOpts, server.WithReplica(follower.Status))
+	} else {
+		var err error
+		qr, mu, closeIndex, err = openBackend(logger, *data, *index, *shards, *parallelism, *resultCache, opts)
+		if err != nil {
+			fatal(logger, err)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", server.New(qr, mu, srvOpts...).Handler())
@@ -172,7 +204,12 @@ func main() {
 		}
 	}
 	// The server is drained (or timed out): checkpoint and release the
-	// index so the next start opens clean, with no WAL to replay.
+	// index so the next start opens clean, with no WAL to replay. A
+	// follower must stop applying records first, or the replay loop
+	// would race the close.
+	if followerDone != nil {
+		<-followerDone
+	}
 	if err := closeIndex(); err != nil {
 		fatal(logger, err)
 	}
@@ -194,11 +231,7 @@ func openBackend(logger *slog.Logger, data, indexPath string, shards, parallelis
 		return openSharded(logger, data, indexPath, shards, parallelism, resultCache, opts)
 	}
 	opts = append(opts, nwcq.WithParallelism(parallelism), nwcq.WithResultCache(resultCache))
-	idx, closer, err := openIndex(logger, data, indexPath, opts)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return idx, idx, closer, nil
+	return openIndex(logger, data, indexPath, opts)
 }
 
 // openSharded serves -shards > 1: reopen the shard directory if its
@@ -244,56 +277,99 @@ func openSharded(logger *slog.Logger, data, indexPath string, shards, parallelis
 	return sh, sh, sh.Close, nil
 }
 
-// openIndex is the single-index (shards = 1) path of openBackend.
-func openIndex(logger *slog.Logger, data, indexPath string, opts []nwcq.BuildOption) (*nwcq.Index, func() error, error) {
+// openIndex is the single-index (shards = 1) path of openBackend. A
+// paged index is returned as the *nwcq.PagedIndex itself (not its
+// embedded Index) so the server can discover the replication surface —
+// GET /wal/stream works only against a WAL-backed index.
+func openIndex(logger *slog.Logger, data, indexPath string, opts []nwcq.BuildOption) (nwcq.Querier, nwcq.Mutator, func() error, error) {
 	started := time.Now()
 	if indexPath != "" {
 		if _, err := os.Stat(indexPath); err == nil {
 			px, err := nwcq.OpenPaged(indexPath, opts...)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			logger.Info("opened paged index",
 				"path", indexPath,
 				"points", px.Len(),
 				"elapsed", time.Since(started).Round(time.Millisecond),
 				"tree_height", px.TreeHeight())
-			return &px.Index, px.Close, nil
+			return px, px, px.Close, nil
 		} else if !errors.Is(err, os.ErrNotExist) {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	if data == "" {
 		if indexPath != "" {
-			return nil, nil, fmt.Errorf("index file %s does not exist and -data was not given to build it", indexPath)
+			return nil, nil, nil, fmt.Errorf("index file %s does not exist and -data was not given to build it", indexPath)
 		}
-		return nil, nil, errors.New("-data is required (or -index pointing at an existing index file)")
+		return nil, nil, nil, errors.New("-data is required (or -index pointing at an existing index file)")
 	}
 	pts, err := loadPoints(data)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if indexPath != "" {
 		px, err := nwcq.BuildPaged(pts, indexPath, opts...)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		logger.Info("built paged index",
 			"path", indexPath,
 			"points", px.Len(),
 			"elapsed", time.Since(started).Round(time.Millisecond),
 			"tree_height", px.TreeHeight())
-		return &px.Index, px.Close, nil
+		return px, px, px.Close, nil
 	}
 	idx, err := nwcq.Build(pts, opts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	logger.Info("indexed",
 		"points", idx.Len(),
 		"elapsed", time.Since(started).Round(time.Millisecond),
 		"tree_height", idx.TreeHeight())
-	return idx, func() error { return nil }, nil
+	return idx, idx, func() error { return nil }, nil
+}
+
+// openFollower opens (or creates empty) the follower's local paged
+// index and builds the replication client around it.
+func openFollower(logger *slog.Logger, leader, indexPath, data string, shards int, maxLag time.Duration, parallelism, resultCache int, opts []nwcq.BuildOption) (*nwcq.PagedIndex, *repl.Follower, error) {
+	switch {
+	case indexPath == "":
+		return nil, nil, errors.New("-follow requires -index: the follower's local page file")
+	case shards != 1:
+		return nil, nil, errors.New("-follow supports a single index only (drop -shards)")
+	case data != "":
+		return nil, nil, errors.New("-follow replicates the leader's data; drop -data")
+	}
+	opts = append(opts, nwcq.WithParallelism(parallelism), nwcq.WithResultCache(resultCache))
+	started := time.Now()
+	var (
+		px  *nwcq.PagedIndex
+		err error
+	)
+	if _, serr := os.Stat(indexPath); serr == nil {
+		px, err = nwcq.OpenPaged(indexPath, opts...)
+	} else if errors.Is(serr, os.ErrNotExist) {
+		px, err = nwcq.BuildPaged(nil, indexPath, opts...)
+	} else {
+		err = serr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	logger.Info("follower index open",
+		"path", indexPath,
+		"points", px.Len(),
+		"replica_lsn", px.ReplicaLSN(),
+		"elapsed", time.Since(started).Round(time.Millisecond))
+	follower, err := repl.New(repl.Config{Leader: leader, MaxLag: maxLag, Logger: logger}, px)
+	if err != nil {
+		px.Close()
+		return nil, nil, err
+	}
+	return px, follower, nil
 }
 
 func loadPoints(path string) ([]nwcq.Point, error) {
@@ -356,6 +432,15 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush keeps streaming endpoints (the WAL stream) working through the
+// wrapper; without it, frames queue in net/http's buffer until it
+// overflows and a follower sees heartbeats tens of seconds late.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // logRequests wraps h with one structured access-log line per request.

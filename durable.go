@@ -85,11 +85,18 @@ const (
 
 // Record payloads: one op byte, then op-specific data. Insert/delete
 // carry a point batch (single mutations are batches of one); abort
-// carries the LSN it neutralises.
+// carries the LSN it neutralises. Apply wraps a replicated insert or
+// delete a follower applied — the leader's LSN rides inside it so the
+// follower's replica position recovers through the ordinary replay
+// path. Reset marks a follower discarding its state ahead of a
+// snapshot re-bootstrap: replay deletes every indexed point and zeroes
+// the replica position at that spot in the sequence.
 const (
 	recInsert byte = 1
 	recDelete byte = 2
 	recAbort  byte = 3
+	recApply  byte = 4
+	recReset  byte = 5
 )
 
 const recPointSize = 24 // x, y float64 bits + id, all big-endian u64
@@ -138,6 +145,18 @@ func encodeAbort(lsn uint64) []byte {
 	return buf
 }
 
+// encodeApply wraps a replicated mutation payload with the leader LSN
+// it carried: [recApply][8B leader LSN][inner insert/delete payload].
+// leaderLSN zero means "position unknown" (intermediate snapshot
+// chunks) and leaves the recovered replica position untouched.
+func encodeApply(leaderLSN uint64, inner []byte) []byte {
+	buf := make([]byte, 9+len(inner))
+	buf[0] = recApply
+	binary.BigEndian.PutUint64(buf[1:9], leaderLSN)
+	copy(buf[9:], inner)
+	return buf
+}
+
 // durability binds a WAL to a paged index. All mutable fields are
 // guarded by Index.wmu (mutations, checkpoints and Close already
 // serialise there); the atomic counters feed Metrics without it.
@@ -158,6 +177,18 @@ type durability struct {
 
 	checkpoints atomic.Uint64
 	replayed    uint64 // records replayed at open; written once
+
+	// settled is the highest LSN whose fate is decided: the record at
+	// settled either published or is the abort that neutralises an
+	// earlier record. Replication streams emit a record only once its
+	// fate is known, so a follower never applies a mutation the leader
+	// may yet abort. Advanced under Index.wmu; read lock-free.
+	settled atomic.Uint64
+
+	// replica is the highest leader LSN applied locally when this index
+	// is a replication follower (zero on leaders). Recovered from the
+	// page-file header plus recApply records; persisted by checkpoints.
+	replica atomic.Uint64
 }
 
 func newDurability(log *wal.Log, pages *pager.Store, o buildOptions) *durability {
@@ -165,16 +196,20 @@ func newDurability(log *wal.Log, pages *pager.Store, o buildOptions) *durability
 	if ckpt <= 0 {
 		ckpt = defaultCheckpointBytes
 	}
-	return &durability{log: log, pages: pages, policy: o.walSync, ckptBytes: ckpt}
+	d := &durability{log: log, pages: pages, policy: o.walSync, ckptBytes: ckpt}
+	// Everything already in the log predates this process's mutations,
+	// so its fate is decided (recovery replays exactly that prefix).
+	d.settled.Store(log.AppendedLSN())
+	return d
 }
 
 // append logs one mutation record. Called under Index.wmu, before the
 // write batch commits.
-func (d *durability) append(op byte, pts []geom.Point) (uint64, error) {
+func (d *durability) append(payload []byte) (uint64, error) {
 	if d.walFailed != nil {
 		return 0, fmt.Errorf("nwcq: write-ahead log failed, index is read-only: %w", d.walFailed)
 	}
-	lsn, err := d.log.Append(encodeMutation(op, pts))
+	lsn, err := d.log.Append(payload)
 	if err != nil {
 		d.walFailed = err
 		return 0, err
@@ -184,14 +219,21 @@ func (d *durability) append(op byte, pts []geom.Point) (uint64, error) {
 
 // abort neutralises an appended record whose mutation failed to commit.
 // If the abort itself cannot be appended, the log is poisoned: replay
-// would otherwise apply a mutation the caller saw fail.
+// would otherwise apply a mutation the caller saw fail. A successful
+// abort settles both records and is fsynced eagerly — until it is
+// durable, the replication stream must hold back the aborted record
+// (and everything behind it).
 func (d *durability) abort(lsn uint64) {
 	if d.walFailed != nil {
 		return
 	}
-	if _, err := d.log.Append(encodeAbort(lsn)); err != nil {
+	alsn, err := d.log.Append(encodeAbort(lsn))
+	if err != nil {
 		d.walFailed = err
+		return
 	}
+	d.settled.Store(alsn)
+	_ = d.log.Sync(alsn)
 }
 
 // waitDurable blocks until lsn is on stable storage, per policy. Called
@@ -232,6 +274,9 @@ func (d *durability) checkpointLocked(tree *rstar.Tree) error {
 	if err := d.pages.SyncData(); err != nil {
 		return fmt.Errorf("nwcq: checkpoint: %w", err)
 	}
+	// The replica position commits atomically with the checkpoint LSN:
+	// both ride the single header write below.
+	d.pages.SetReplicaLSN(d.replica.Load())
 	if err := d.pages.WriteCheckpoint(lsn); err != nil {
 		return fmt.Errorf("nwcq: checkpoint: %w", err)
 	}
@@ -251,16 +296,36 @@ func (d *durability) checkpointLocked(tree *rstar.Tree) error {
 	return nil
 }
 
+// closeLocked is Close's durability teardown. With the append path
+// poisoned, a final checkpoint is both impossible and wrong — the torn
+// log tail must stay frozen for recovery — so it surfaces the sticky
+// error exactly once (instead of the checkpoint error ladder re-wrapping
+// it) and still hands the deferred retired pages back to the volatile
+// allocator so the in-process tree is not leaked. Otherwise it runs the
+// normal final checkpoint. Called under Index.wmu.
+func (d *durability) closeLocked(tree *rstar.Tree) error {
+	if d.walFailed != nil {
+		if len(d.pending) > 0 {
+			_ = tree.ReleaseNodes(d.pending)
+			d.pending = nil
+		}
+		return fmt.Errorf("nwcq: close: write-ahead log failed: %w", d.walFailed)
+	}
+	return d.checkpointLocked(tree)
+}
+
 // replayWAL applies committed records past the checkpoint through the
-// same COW write path live mutations use, returning the recovered tree
-// and the number of records applied. The free set is empty during
-// replay, so every shadow allocation extends the file and the
-// checkpointed image stays intact — a crash mid-replay recovers again
-// from the same base.
-func replayWAL(tree *rstar.Tree, log *wal.Log, afterLSN uint64) (*rstar.Tree, int, error) {
+// same COW write path live mutations use, returning the recovered tree,
+// the number of records applied, and the recovered replica position
+// (baseReplica updated in record order by recApply/recReset). The free
+// set is empty during replay, so every shadow allocation extends the
+// file and the checkpointed image stays intact — a crash mid-replay
+// recovers again from the same base.
+func replayWAL(tree *rstar.Tree, log *wal.Log, afterLSN, baseReplica uint64) (*rstar.Tree, int, uint64, error) {
+	replica := baseReplica
 	recs := log.Records(afterLSN)
 	if len(recs) == 0 {
-		return tree, 0, nil
+		return tree, 0, replica, nil
 	}
 	aborted := make(map[uint64]bool)
 	for _, r := range recs {
@@ -271,22 +336,41 @@ func replayWAL(tree *rstar.Tree, log *wal.Log, afterLSN uint64) (*rstar.Tree, in
 	applied := 0
 	for _, r := range recs {
 		if len(r.Data) == 0 {
-			return nil, applied, fmt.Errorf("nwcq: empty wal record at lsn %d", r.LSN)
+			return nil, applied, replica, fmt.Errorf("nwcq: empty wal record at lsn %d", r.LSN)
 		}
-		op := r.Data[0]
+		op, data := r.Data[0], r.Data
 		if op == recAbort || aborted[r.LSN] {
 			continue
 		}
-		if op != recInsert && op != recDelete {
-			return nil, applied, fmt.Errorf("nwcq: unknown wal record op %d at lsn %d", op, r.LSN)
+		if op == recReset {
+			next, err := replayReset(tree)
+			if err != nil {
+				return nil, applied, replica, fmt.Errorf("nwcq: replay reset lsn %d: %w", r.LSN, err)
+			}
+			tree = next
+			replica = 0
+			applied++
+			continue
 		}
-		pts, err := decodeMutation(r.Data)
+		var leaderLSN uint64
+		if op == recApply {
+			if len(data) < 10 {
+				return nil, applied, replica, fmt.Errorf("nwcq: truncated apply record at lsn %d", r.LSN)
+			}
+			leaderLSN = binary.BigEndian.Uint64(data[1:9])
+			data = data[9:]
+			op = data[0]
+		}
+		if op != recInsert && op != recDelete {
+			return nil, applied, replica, fmt.Errorf("nwcq: unknown wal record op %d at lsn %d", op, r.LSN)
+		}
+		pts, err := decodeMutation(data)
 		if err != nil {
-			return nil, applied, fmt.Errorf("nwcq: lsn %d: %w", r.LSN, err)
+			return nil, applied, replica, fmt.Errorf("nwcq: lsn %d: %w", r.LSN, err)
 		}
 		b, err := tree.BeginWrite()
 		if err != nil {
-			return nil, applied, err
+			return nil, applied, replica, err
 		}
 		for _, p := range pts {
 			if op == recInsert {
@@ -301,19 +385,47 @@ func replayWAL(tree *rstar.Tree, log *wal.Log, afterLSN uint64) (*rstar.Tree, in
 			}
 			if err != nil {
 				b.Discard()
-				return nil, applied, fmt.Errorf("nwcq: replay lsn %d: %w", r.LSN, err)
+				return nil, applied, replica, fmt.Errorf("nwcq: replay lsn %d: %w", r.LSN, err)
 			}
 		}
 		next, _, err := b.Commit()
 		if err != nil {
-			return nil, applied, fmt.Errorf("nwcq: replay lsn %d: %w", r.LSN, err)
+			return nil, applied, replica, fmt.Errorf("nwcq: replay lsn %d: %w", r.LSN, err)
 		}
 		// Retired IDs are ignored: reachability reconstruction after
 		// replay returns every stale page to the allocator at once.
 		tree = next
 		applied++
+		if leaderLSN > replica {
+			replica = leaderLSN
+		}
 	}
-	return tree, applied, nil
+	return tree, applied, replica, nil
+}
+
+// replayReset re-applies a follower state discard: every indexed point
+// is deleted through the COW path, leaving an empty tree for the
+// snapshot chunks that follow in the log.
+func replayReset(tree *rstar.Tree) (*rstar.Tree, error) {
+	pts, err := tree.All()
+	if err != nil {
+		return nil, err
+	}
+	b, err := tree.BeginWrite()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if _, err := b.Tree().Delete(p); err != nil {
+			b.Discard()
+			return nil, err
+		}
+	}
+	next, _, err := b.Commit()
+	if err != nil {
+		return nil, err
+	}
+	return next, nil
 }
 
 // rebuildFreeSet reinstates the page allocator's free list as the

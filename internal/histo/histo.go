@@ -129,14 +129,17 @@ func (s Snapshot) Mean() float64 {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear
 // interpolation within the bucket holding the target rank. Results are
-// clamped to the histogram's bound range; an empty histogram yields 0.
+// clamped to the histogram's bound range. An empty histogram yields
+// NaN: a distribution with no samples has no quantiles, and the old
+// silent 0 read as "perfect p99" in lag and load reports. Callers that
+// must encode the value (JSON rejects NaN) use QuantileOr.
 func (s Snapshot) Quantile(q float64) float64 {
 	total := uint64(0)
 	for _, c := range s.Counts {
 		total += c
 	}
 	if total == 0 {
-		return 0
+		return math.NaN()
 	}
 	if q < 0 {
 		q = 0
@@ -172,4 +175,15 @@ func (s Snapshot) Quantile(q float64) float64 {
 		cum = next
 	}
 	return s.Bounds[len(s.Bounds)-1]
+}
+
+// QuantileOr is Quantile with an explicit empty-histogram fallback, for
+// reports that serialise the value (encoding/json rejects NaN). The
+// report must carry the sample count alongside so a fallback zero stays
+// distinguishable from a real measurement.
+func (s Snapshot) QuantileOr(q, empty float64) float64 {
+	if v := s.Quantile(q); !math.IsNaN(v) {
+		return v
+	}
+	return empty
 }

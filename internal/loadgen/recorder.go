@@ -91,10 +91,10 @@ func (c *classRec) report(elapsed time.Duration) ClassReport {
 		Count:         s.Count,
 		Errors:        c.errs.Load(),
 		LatencyMeanMs: s.Mean() * 1e3,
-		LatencyP50Ms:  s.Quantile(0.50) * 1e3,
-		LatencyP95Ms:  s.Quantile(0.95) * 1e3,
-		LatencyP99Ms:  s.Quantile(0.99) * 1e3,
-		LatencyP999Ms: s.Quantile(0.999) * 1e3,
+		LatencyP50Ms:  s.QuantileOr(0.50, 0) * 1e3,
+		LatencyP95Ms:  s.QuantileOr(0.95, 0) * 1e3,
+		LatencyP99Ms:  s.QuantileOr(0.99, 0) * 1e3,
+		LatencyP999Ms: s.QuantileOr(0.999, 0) * 1e3,
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(s.Count) / elapsed.Seconds()

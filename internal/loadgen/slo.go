@@ -181,6 +181,12 @@ func Evaluate(slos []SLO, rep *Report) bool {
 			res.Detail = fmt.Sprintf("no %s samples in the measured window", s.Class)
 		} else if obs, known := quantileMs(c, s.Quantile); !known {
 			res.Detail = fmt.Sprintf("quantile p%g not archived (have p50/p95/p99/p999)", s.Quantile*100)
+		} else if math.IsNaN(obs) {
+			// A NaN quantile is an empty distribution that slipped past the
+			// count check (e.g. a hand-edited report): fail as loudly as a
+			// missing class, and keep ObservedMs at 0 so the report still
+			// encodes (JSON rejects NaN).
+			res.Detail = fmt.Sprintf("p%g of %s is undefined: empty latency distribution", s.Quantile*100, s.Class)
 		} else {
 			res.ObservedMs = obs
 			res.ObservedRPS = c.ThroughputRPS

@@ -103,8 +103,13 @@ func TestQuantileInterpolation(t *testing.T) {
 
 func TestQuantileEmptyAndOverflow(t *testing.T) {
 	h := MustHistogram([]float64{1, 2})
-	if q := h.Snapshot().Quantile(0.99); q != 0 {
-		t.Fatalf("empty quantile = %g", q)
+	// An empty distribution has no quantiles: NaN, never a fake 0 that
+	// reads as a perfect p99 in reports.
+	if q := h.Snapshot().Quantile(0.99); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %g, want NaN", q)
+	}
+	if q := h.Snapshot().QuantileOr(0.99, -1); q != -1 {
+		t.Fatalf("empty QuantileOr = %g, want fallback -1", q)
 	}
 	h.Observe(50) // overflow bucket only
 	if q := h.Snapshot().Quantile(0.5); q != 2 {

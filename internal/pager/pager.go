@@ -248,6 +248,13 @@ type Store struct {
 	// stores that never checkpointed (including pre-WAL files).
 	ckptLSN uint64
 
+	// replLSN is the highest leader LSN a replication follower has
+	// applied into this store; zero on leaders and on files written
+	// before replication existed (the header bytes read back as zero).
+	// Persisted alongside ckptLSN so the replica position commits
+	// atomically with the checkpoint that contains its effects.
+	replLSN uint64
+
 	// UserRoot is an application-owned page reference persisted in the
 	// header (the R*-tree stores its root here). Set via SetUserRoot.
 	userRoot PageID
@@ -620,6 +627,26 @@ func (s *Store) CheckpointLSN() uint64 {
 	return s.ckptLSN
 }
 
+// ReplicaLSN returns the follower replica position recorded in the
+// header image (zero on leaders).
+func (s *Store) ReplicaLSN() uint64 {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	return s.replLSN
+}
+
+// SetReplicaLSN records the highest applied leader LSN in the header
+// image. It becomes durable with the next WriteCheckpoint, whose single
+// header write commits both LSNs atomically.
+func (s *Store) SetReplicaLSN(lsn uint64) {
+	s.meta.Lock()
+	if s.replLSN != lsn {
+		s.replLSN = lsn
+		s.dirtyHdr = true
+	}
+	s.meta.Unlock()
+}
+
 // WriteCheckpoint atomically commits the current root/page state as the
 // durable image covering WAL records up to lsn: it writes the header
 // (root, page count, checkpoint LSN) in one page-sized write and fsyncs.
@@ -661,6 +688,7 @@ func (s *Store) checkRange(id PageID) error {
 //	[16:20] userRoot
 //	[20:84] userMeta
 //	[84:92] checkpoint LSN
+//	[92:100] replica LSN (followers only; zero otherwise)
 func (s *Store) flushHeaderLocked() error {
 	buf := make([]byte, payloadSize)
 	putBE32(buf[0:4], magic)
@@ -674,6 +702,7 @@ func (s *Store) flushHeaderLocked() error {
 	putBE32(buf[16:20], uint32(s.userRoot))
 	copy(buf[20:84], s.userMeta[:])
 	putBE64(buf[84:92], s.ckptLSN)
+	putBE64(buf[92:100], s.replLSN)
 	raw := make([]byte, PageSize)
 	copy(raw, buf)
 	putBE32(raw[payloadSize:], crc32.ChecksumIEEE(raw[:payloadSize]))
@@ -710,6 +739,7 @@ func (s *Store) readHeader() error {
 	s.userRoot = PageID(be32(payload[16:20]))
 	copy(s.userMeta[:], payload[20:84])
 	s.ckptLSN = be64(payload[84:92])
+	s.replLSN = be64(payload[92:100])
 	return nil
 }
 

@@ -1,0 +1,290 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"nwcq"
+)
+
+// Replica is the follower-side surface of the index the stream replays
+// into. *nwcq.PagedIndex satisfies it.
+type Replica interface {
+	ReplicaLSN() uint64
+	Len() int
+	ApplyReplicated(leaderLSN uint64, data []byte) error
+	ApplySnapshotChunk(pts []nwcq.Point, leaderLSN uint64) error
+	ResetForSnapshot() error
+}
+
+// Config shapes a follower.
+type Config struct {
+	// Leader is the base URL of the leader's HTTP endpoint, e.g.
+	// "http://localhost:8080".
+	Leader string
+	// MaxLag bounds staleness for readiness: once caught up, the
+	// follower reports Ready while its lag stays at or under MaxLag.
+	// Zero or negative disables the gate (always ready once caught up).
+	MaxLag time.Duration
+	// Logger receives lifecycle events; nil discards them.
+	Logger *slog.Logger
+	// Client issues the streaming requests; nil uses a client with no
+	// overall timeout (the stream is long-lived).
+	Client *http.Client
+	// MinBackoff and MaxBackoff bound the reconnect delay; zero values
+	// default to 100ms and 5s.
+	MinBackoff, MaxBackoff time.Duration
+}
+
+// Follower tails a leader's WAL stream into a local replica index.
+type Follower struct {
+	cfg Config
+	idx Replica
+	log *slog.Logger
+
+	connected       atomic.Bool
+	reconnects      atomic.Uint64
+	snapshots       atomic.Uint64
+	applied         atomic.Uint64
+	leaderDurable   atomic.Uint64
+	leaderCommitted atomic.Uint64
+	// caughtUp is the unix-nano instant the replica last matched the
+	// leader's committed LSN; 0 means it never has.
+	caughtUp atomic.Int64
+	diverged atomic.Bool
+
+	// Snapshot reassembly state, touched only by the single Run loop.
+	snapRemaining uint64
+	snapLSN       uint64
+}
+
+// New builds a follower replaying into idx. Run must be started by the
+// caller.
+func New(cfg Config, idx Replica) (*Follower, error) {
+	u, err := url.Parse(cfg.Leader)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("repl: leader URL %q: want e.g. http://host:port", cfg.Leader)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	return &Follower{cfg: cfg, idx: idx, log: cfg.Logger}, nil
+}
+
+// Run streams until ctx is cancelled, reconnecting with exponential
+// backoff. It always returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.cfg.MinBackoff
+	for {
+		productive, err := f.streamOnce(ctx)
+		f.connected.Store(false)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			f.log.Warn("replication stream failed", "leader", f.cfg.Leader, "err", err)
+		} else {
+			f.log.Info("replication stream ended, reconnecting", "leader", f.cfg.Leader)
+		}
+		if productive {
+			backoff = f.cfg.MinBackoff
+		}
+		f.reconnects.Add(1)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.cfg.MaxBackoff {
+			backoff = f.cfg.MaxBackoff
+		}
+	}
+}
+
+// streamOnce runs one stream session; productive reports whether any
+// frame was applied or observed, which resets the reconnect backoff.
+func (f *Follower) streamOnce(ctx context.Context) (productive bool, err error) {
+	from := f.idx.ReplicaLSN() + 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/wal/stream?from=%d", f.cfg.Leader, from), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("repl: leader returned %s: %s", resp.Status, body)
+	}
+	f.connected.Store(true)
+	f.log.Info("replication stream open", "leader", f.cfg.Leader, "from", from)
+
+	r := NewReader(resp.Body)
+	for {
+		fr, err := r.Next()
+		if err != nil {
+			return productive, err
+		}
+		productive = true
+		if err := f.handle(fr); err != nil {
+			return productive, err
+		}
+	}
+}
+
+// handle applies one frame to the replica.
+func (f *Follower) handle(fr Frame) error {
+	switch fr.Type {
+	case FrameSnapshot:
+		f.snapshots.Add(1)
+		f.log.Info("snapshot bootstrap begins", "leader_lsn", fr.LSN, "points", fr.Count)
+		// A snapshot replaces local state wholesale. Reset whenever the
+		// replica holds anything — points or a position — so chunks from
+		// an earlier, interrupted snapshot can never double-apply.
+		if f.idx.Len() > 0 || f.idx.ReplicaLSN() > 0 {
+			if err := f.idx.ResetForSnapshot(); err != nil {
+				return fmt.Errorf("repl: reset for snapshot: %w", err)
+			}
+		}
+		f.snapRemaining, f.snapLSN = fr.Count, fr.LSN
+		if fr.Count == 0 {
+			// Empty leader: a single stamp records the position.
+			if err := f.idx.ApplySnapshotChunk(nil, fr.LSN); err != nil {
+				return fmt.Errorf("repl: empty snapshot stamp: %w", err)
+			}
+			f.snapLSN = 0
+		}
+		return nil
+	case FramePoints:
+		if uint64(len(fr.Points)) > f.snapRemaining {
+			return fmt.Errorf("repl: snapshot chunk of %d points with only %d expected", len(fr.Points), f.snapRemaining)
+		}
+		f.snapRemaining -= uint64(len(fr.Points))
+		// Intermediate chunks carry stamp 0 (position unknown); only the
+		// final chunk commits the snapshot LSN, so a crash mid-bootstrap
+		// reconnects below the leader's floor and restarts the snapshot.
+		stamp := uint64(0)
+		if f.snapRemaining == 0 {
+			stamp = f.snapLSN
+			f.snapLSN = 0
+		}
+		if err := f.idx.ApplySnapshotChunk(fr.Points, stamp); err != nil {
+			return fmt.Errorf("repl: snapshot chunk: %w", err)
+		}
+		return nil
+	case FrameRecord:
+		if err := f.idx.ApplyReplicated(fr.LSN, fr.Payload); err != nil {
+			return fmt.Errorf("repl: apply record %d: %w", fr.LSN, err)
+		}
+		f.applied.Add(1)
+		return nil
+	case FrameHeartbeat:
+		f.leaderDurable.Store(fr.Durable)
+		f.leaderCommitted.Store(fr.Committed)
+		replica := f.idx.ReplicaLSN()
+		switch {
+		case replica > fr.Committed:
+			// The replica is ahead of the leader: the leader lost history
+			// (restored from an older backup, or a different instance now
+			// answers on this address). Auto-wiping would destroy the only
+			// up-to-date copy, so stay unready and demand operator action.
+			if !f.diverged.Swap(true) {
+				f.log.Error("replica ahead of leader: histories diverged; refusing to serve until re-pointed or re-seeded",
+					"replica_lsn", replica, "leader_committed_lsn", fr.Committed)
+			}
+		case replica >= fr.Committed:
+			f.diverged.Store(false)
+			f.caughtUp.Store(time.Now().UnixNano())
+		default:
+			f.diverged.Store(false)
+		}
+		return nil
+	default:
+		return fmt.Errorf("repl: unhandled frame type %q", fr.Type)
+	}
+}
+
+// Lag is the time since the replica last matched the leader's committed
+// position; ok is false if it never has.
+func (f *Follower) Lag() (time.Duration, bool) {
+	at := f.caughtUp.Load()
+	if at == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, at)), true
+}
+
+// Ready reports whether reads may be served within the staleness bound:
+// the follower has caught up at least once, is not diverged, and its
+// lag is within MaxLag (if one is set).
+func (f *Follower) Ready() bool {
+	if f.diverged.Load() {
+		return false
+	}
+	lag, ok := f.Lag()
+	if !ok {
+		return false
+	}
+	return f.cfg.MaxLag <= 0 || lag <= f.cfg.MaxLag
+}
+
+// Status is a point-in-time follower summary for health and metrics
+// endpoints.
+type Status struct {
+	Leader             string `json:"leader"`
+	Connected          bool   `json:"connected"`
+	ReplicaLSN         uint64 `json:"replica_lsn"`
+	LeaderDurableLSN   uint64 `json:"leader_durable_lsn"`
+	LeaderCommittedLSN uint64 `json:"leader_committed_lsn"`
+	// LagSeconds is -1 until the follower has caught up once (NaN and
+	// +Inf do not JSON-encode).
+	LagSeconds     float64 `json:"lag_seconds"`
+	Reconnects     uint64  `json:"reconnects"`
+	Snapshots      uint64  `json:"snapshots"`
+	RecordsApplied uint64  `json:"records_applied"`
+	Diverged       bool    `json:"diverged,omitempty"`
+	Ready          bool    `json:"ready"`
+	MaxLagSeconds  float64 `json:"max_lag_seconds,omitempty"`
+}
+
+// Status snapshots the follower.
+func (f *Follower) Status() Status {
+	st := Status{
+		Leader:             f.cfg.Leader,
+		Connected:          f.connected.Load(),
+		ReplicaLSN:         f.idx.ReplicaLSN(),
+		LeaderDurableLSN:   f.leaderDurable.Load(),
+		LeaderCommittedLSN: f.leaderCommitted.Load(),
+		LagSeconds:         -1,
+		Reconnects:         f.reconnects.Load(),
+		Snapshots:          f.snapshots.Load(),
+		RecordsApplied:     f.applied.Load(),
+		Diverged:           f.diverged.Load(),
+		Ready:              f.Ready(),
+		MaxLagSeconds:      f.cfg.MaxLag.Seconds(),
+	}
+	if lag, ok := f.Lag(); ok {
+		st.LagSeconds = lag.Seconds()
+	}
+	return st
+}

@@ -1,0 +1,172 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nwcq"
+)
+
+// fakeReplica records frame applications for lifecycle tests without a
+// real index.
+type fakeReplica struct {
+	replica uint64
+	points  int
+	resets  int
+	applies []uint64
+	chunks  []uint64
+}
+
+func (f *fakeReplica) ReplicaLSN() uint64 { return f.replica }
+func (f *fakeReplica) Len() int           { return f.points }
+func (f *fakeReplica) ApplyReplicated(leaderLSN uint64, data []byte) error {
+	f.applies = append(f.applies, leaderLSN)
+	if leaderLSN > f.replica {
+		f.replica = leaderLSN
+	}
+	f.points++
+	return nil
+}
+func (f *fakeReplica) ApplySnapshotChunk(pts []nwcq.Point, leaderLSN uint64) error {
+	f.chunks = append(f.chunks, leaderLSN)
+	f.points += len(pts)
+	if leaderLSN > f.replica {
+		f.replica = leaderLSN
+	}
+	return nil
+}
+func (f *fakeReplica) ResetForSnapshot() error {
+	f.resets++
+	f.points, f.replica = 0, 0
+	return nil
+}
+
+func newTestFollower(t *testing.T, idx Replica, maxLag time.Duration) *Follower {
+	t.Helper()
+	f, err := New(Config{Leader: "http://localhost:1", MaxLag: maxLag}, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewRejectsBadLeaderURL(t *testing.T) {
+	for _, bad := range []string{"", "localhost:8080", "http://", "::"} {
+		if _, err := New(Config{Leader: bad}, &fakeReplica{}); err == nil {
+			t.Errorf("leader URL %q accepted", bad)
+		}
+	}
+}
+
+// TestSnapshotResetSemantics drives the frame handler through a
+// snapshot onto a dirty replica: the reset must precede the chunks, and
+// only the final chunk may stamp the snapshot LSN.
+func TestSnapshotResetSemantics(t *testing.T) {
+	idx := &fakeReplica{points: 3, replica: 9}
+	f := newTestFollower(t, idx, 0)
+	pts := make([]nwcq.Point, 10)
+	if err := f.handle(Frame{Type: FrameSnapshot, LSN: 50, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if idx.resets != 1 {
+		t.Fatalf("resets = %d, want 1 (replica was dirty)", idx.resets)
+	}
+	if err := f.handle(Frame{Type: FramePoints, Points: pts[:6]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.handle(Frame{Type: FramePoints, Points: pts[6:]}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(idx.chunks) != "[0 50]" {
+		t.Fatalf("chunk stamps = %v, want [0 50]: only the final chunk commits the position", idx.chunks)
+	}
+	if idx.replica != 50 || idx.points != 10 {
+		t.Fatalf("after snapshot: replica %d, %d points", idx.replica, idx.points)
+	}
+	// An overflowing chunk is stream corruption, not silent growth.
+	if err := f.handle(Frame{Type: FramePoints, Points: pts[:1]}); err == nil {
+		t.Fatal("chunk beyond the announced count accepted")
+	}
+}
+
+// TestEmptySnapshotStampsPosition covers an empty leader: the position
+// must still advance or the follower would re-bootstrap forever.
+func TestEmptySnapshotStampsPosition(t *testing.T) {
+	idx := &fakeReplica{}
+	f := newTestFollower(t, idx, 0)
+	if err := f.handle(Frame{Type: FrameSnapshot, LSN: 7, Count: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if idx.replica != 7 {
+		t.Fatalf("replica = %d after empty snapshot, want 7", idx.replica)
+	}
+	if idx.resets != 0 {
+		t.Fatal("clean empty replica was reset needlessly")
+	}
+}
+
+// TestHeartbeatLagAndReadiness walks the readiness state machine:
+// never-caught-up → caught up → diverged.
+func TestHeartbeatLagAndReadiness(t *testing.T) {
+	idx := &fakeReplica{}
+	f := newTestFollower(t, idx, time.Hour)
+	if f.Ready() {
+		t.Fatal("ready before ever catching up")
+	}
+	st := f.Status()
+	if st.LagSeconds != -1 {
+		t.Fatalf("pre-catch-up lag = %g, want -1 sentinel", st.LagSeconds)
+	}
+
+	idx.replica = 20
+	if err := f.handle(Frame{Type: FrameHeartbeat, Durable: 21, Committed: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Ready() {
+		t.Fatal("not ready though replica matches committed")
+	}
+	st = f.Status()
+	if st.LagSeconds < 0 || st.LeaderDurableLSN != 21 || st.LeaderCommittedLSN != 20 {
+		t.Fatalf("status after catch-up = %+v", st)
+	}
+
+	// A leader that answers with an older history: diverged, not ready,
+	// and no auto-wipe (the fake would record a reset).
+	if err := f.handle(Frame{Type: FrameHeartbeat, Durable: 10, Committed: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ready() {
+		t.Fatal("ready while diverged")
+	}
+	if !f.Status().Diverged {
+		t.Fatal("divergence not reported")
+	}
+	if idx.resets != 0 {
+		t.Fatal("divergence auto-wiped the replica")
+	}
+	// The same leader catching back up clears the divergence.
+	if err := f.handle(Frame{Type: FrameHeartbeat, Durable: 20, Committed: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Ready() || f.Status().Diverged {
+		t.Fatal("divergence not cleared after the leader caught up")
+	}
+}
+
+// TestMaxLagGate pins the staleness bound: lag beyond MaxLag flips
+// readiness off without touching the caught-up state.
+func TestMaxLagGate(t *testing.T) {
+	idx := &fakeReplica{replica: 5}
+	f := newTestFollower(t, idx, time.Nanosecond)
+	if err := f.handle(Frame{Type: FrameHeartbeat, Durable: 5, Committed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	if f.Ready() {
+		t.Fatal("ready though lag exceeds the 1ns bound")
+	}
+	if lag, ok := f.Lag(); !ok || lag <= 0 {
+		t.Fatalf("lag = %v, %v", lag, ok)
+	}
+}

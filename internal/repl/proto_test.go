@@ -1,0 +1,110 @@
+package repl
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nwcq"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pts := []nwcq.Point{
+		{X: 1.5, Y: -2.25, ID: 42},
+		{X: math.MaxFloat64, Y: math.SmallestNonzeroFloat64, ID: math.MaxUint64},
+		{X: 0, Y: 0, ID: 0},
+	}
+	at := time.Unix(0, 1754550000000000000)
+	if err := w.Snapshot(77, len(pts)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Points(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(78, []byte{1, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Heartbeat(80, 79, at); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	fr, err := r.Next()
+	if err != nil || fr.Type != FrameSnapshot || fr.LSN != 77 || fr.Count != uint64(len(pts)) {
+		t.Fatalf("snapshot frame = %+v, %v", fr, err)
+	}
+	fr, err = r.Next()
+	if err != nil || fr.Type != FramePoints || len(fr.Points) != len(pts) {
+		t.Fatalf("points frame = %+v, %v", fr, err)
+	}
+	for i, p := range pts {
+		if fr.Points[i] != p {
+			t.Fatalf("point %d = %+v, want %+v", i, fr.Points[i], p)
+		}
+	}
+	fr, err = r.Next()
+	if err != nil || fr.Type != FrameRecord || fr.LSN != 78 || !bytes.Equal(fr.Payload, []byte{1, 0, 0, 0, 0}) {
+		t.Fatalf("record frame = %+v, %v", fr, err)
+	}
+	fr, err = r.Next()
+	if err != nil || fr.Type != FrameHeartbeat || fr.Durable != 80 || fr.Committed != 79 || !fr.At.Equal(at) {
+		t.Fatalf("heartbeat frame = %+v, %v", fr, err)
+	}
+	if _, err = r.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("X")).Next(); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
+		t.Fatalf("unknown frame type: %v", err)
+	}
+	// A record frame claiming a payload beyond the limit is corruption,
+	// not an allocation request.
+	var buf bytes.Buffer
+	buf.WriteByte(FrameRecord)
+	buf.Write(make([]byte, 8))                // lsn
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	if _, err := NewReader(&buf).Next(); err == nil {
+		t.Fatal("oversized record length accepted")
+	}
+	// A truncated frame body is an error, not a hang or a zero frame.
+	var buf2 bytes.Buffer
+	w := NewWriter(&buf2)
+	if err := w.Record(5, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-2]
+	if _, err := NewReader(bytes.NewReader(trunc)).Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestWriterChunksLargePointSets(t *testing.T) {
+	// One writer reused across chunks must not corrupt earlier frames
+	// via its scratch buffer.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	a := []nwcq.Point{{X: 1, Y: 1, ID: 1}, {X: 2, Y: 2, ID: 2}}
+	b := []nwcq.Point{{X: 3, Y: 3, ID: 3}}
+	if err := w.Points(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Points(b); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	fr, err := r.Next()
+	if err != nil || len(fr.Points) != 2 || fr.Points[0].ID != 1 || fr.Points[1].ID != 2 {
+		t.Fatalf("first chunk = %+v, %v", fr, err)
+	}
+	fr, err = r.Next()
+	if err != nil || len(fr.Points) != 1 || fr.Points[0].ID != 3 {
+		t.Fatalf("second chunk = %+v, %v", fr, err)
+	}
+}

@@ -50,6 +50,7 @@ import (
 
 	"nwcq"
 	"nwcq/internal/metrics"
+	"nwcq/internal/repl"
 )
 
 // endpointStats aggregates one route's request count, failure count and
@@ -85,6 +86,9 @@ type Server struct {
 	// qlog is the sampled wide-event query log (WithQueryLog); nil means
 	// off.
 	qlog *queryLog
+	// replica reports follower status (WithReplica); nil on leaders and
+	// standalone servers.
+	replica func() repl.Status
 }
 
 // New wraps a query backend and an optional mutation backend. Any
@@ -97,7 +101,7 @@ type Server struct {
 // sampled wide-event query log (WithQueryLog).
 func New(q nwcq.Querier, m nwcq.Mutator, opts ...Option) *Server {
 	s := &Server{idx: q, mut: m, endpoints: make(map[string]*endpointStats)}
-	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog", "batch_nwc", "batch_knwc"} {
+	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog", "batch_nwc", "batch_knwc", "wal_stream"} {
 		s.endpoints[name] = newEndpointStats()
 	}
 	for _, opt := range opts {
@@ -119,6 +123,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
 	mux.HandleFunc("POST /batch/nwc", s.instrument("batch_nwc", s.handleBatchNWC))
 	mux.HandleFunc("POST /batch/knwc", s.instrument("batch_knwc", s.handleBatchKNWC))
+	mux.HandleFunc("GET /wal/stream", s.instrument("wal_stream", s.handleWALStream))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -127,6 +132,15 @@ func (s *Server) Handler() http.Handler {
 		if s.health != nil && !s.health.Ready() {
 			http.Error(w, "starting", http.StatusServiceUnavailable)
 			return
+		}
+		if s.replica != nil {
+			if st := s.replica(); !st.Ready {
+				http.Error(w, fmt.Sprintf(
+					"replica lagging: replica_lsn=%d leader_committed_lsn=%d lag_seconds=%.1f diverged=%t",
+					st.ReplicaLSN, st.LeaderCommittedLSN, st.LagSeconds, st.Diverged),
+					http.StatusServiceUnavailable)
+				return
+			}
 		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -144,6 +158,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush passes streaming through the wrapper; without it the WAL stream
+// handler would see a non-Flusher writer and refuse to serve.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with per-endpoint timing and counting.
@@ -552,15 +574,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		eps[name] = endpointJSON{
 			Requests:     ep.requests.Value(),
 			Failures:     ep.failures.Value(),
-			LatencyP50Ms: lat.Quantile(0.50) * 1e3,
-			LatencyP95Ms: lat.Quantile(0.95) * 1e3,
-			LatencyP99Ms: lat.Quantile(0.99) * 1e3,
+			LatencyP50Ms: lat.QuantileOr(0.50, 0) * 1e3,
+			LatencyP95Ms: lat.QuantileOr(0.95, 0) * 1e3,
+			LatencyP99Ms: lat.QuantileOr(0.99, 0) * 1e3,
 		}
 	}
-	s.ok(w, map[string]any{
+	out := map[string]any{
 		"index":     s.idx.Metrics(),
 		"endpoints": eps,
-	})
+	}
+	if s.replica != nil {
+		out["replica"] = s.replica()
+	}
+	s.ok(w, out)
 }
 
 // handleMetricsPrometheus renders the index metrics plus the server's
@@ -597,6 +623,9 @@ func (s *Server) handleMetricsPrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(w, "nwcq_http_latency_seconds_sum{endpoint=%q} %s\n",
 			name, strconv.FormatFloat(snap.Sum, 'g', -1, 64))
 		fmt.Fprintf(w, "nwcq_http_latency_seconds_count{endpoint=%q} %d\n", name, cum)
+	}
+	if s.replica != nil {
+		s.writeReplicaPrometheus(w)
 	}
 }
 

@@ -183,15 +183,15 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 			Count:         m.queries[k].Value(),
 			Errors:        m.errors[k].Value(),
 			LatencyMeanMs: lat.Mean() * 1e3,
-			LatencyP50Ms:  lat.Quantile(0.50) * 1e3,
-			LatencyP95Ms:  lat.Quantile(0.95) * 1e3,
-			LatencyP99Ms:  lat.Quantile(0.99) * 1e3,
+			LatencyP50Ms:  lat.QuantileOr(0.50, 0) * 1e3,
+			LatencyP95Ms:  lat.QuantileOr(0.95, 0) * 1e3,
+			LatencyP99Ms:  lat.QuantileOr(0.99, 0) * 1e3,
 		}
 		if k == rNWC || k == rKNWC {
 			km.NodeVisitsMean = vis.Mean()
-			km.NodeVisitsP50 = vis.Quantile(0.50)
-			km.NodeVisitsP95 = vis.Quantile(0.95)
-			km.NodeVisitsP99 = vis.Quantile(0.99)
+			km.NodeVisitsP50 = vis.QuantileOr(0.50, 0)
+			km.NodeVisitsP95 = vis.QuantileOr(0.95, 0)
+			km.NodeVisitsP99 = vis.QuantileOr(0.99, 0)
 		}
 		out.Queries[rKindNames[k]] = km
 	}
@@ -236,6 +236,12 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 			if w.DurableLSN > wal.DurableLSN {
 				wal.DurableLSN = w.DurableLSN
 			}
+			if w.CommittedLSN > wal.CommittedLSN {
+				wal.CommittedLSN = w.CommittedLSN
+			}
+			if w.ReplicaLSN > wal.ReplicaLSN {
+				wal.ReplicaLSN = w.ReplicaLSN
+			}
 		}
 	}
 	if pc != nil {
@@ -263,9 +269,9 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 		out.Router.Phases[phaseNames[p]] = nwcq.RouterPhaseMetrics{
 			Count:         ph.Count,
 			LatencyMeanMs: ph.Mean() * 1e3,
-			LatencyP50Ms:  ph.Quantile(0.50) * 1e3,
-			LatencyP95Ms:  ph.Quantile(0.95) * 1e3,
-			LatencyP99Ms:  ph.Quantile(0.99) * 1e3,
+			LatencyP50Ms:  ph.QuantileOr(0.50, 0) * 1e3,
+			LatencyP95Ms:  ph.QuantileOr(0.95, 0) * 1e3,
+			LatencyP99Ms:  ph.QuantileOr(0.99, 0) * 1e3,
 		}
 	}
 	if c := s.rcache; c != nil {

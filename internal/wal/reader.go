@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Reader leases and segment streaming: the replication side of the log.
+//
+// A Lease pins history: while one is held at floor F, Checkpointed
+// refuses to recycle any segment whose last record is at or above F.
+// A Reader owns a lease and streams committed frames in LSN order,
+// starting from an arbitrary LSN — catch-up across sealed segments
+// first, then a live tail bounded by the durable watermark. Frames at
+// or below the durable watermark are immutable (appends only ever
+// extend the active segment), so the Reader locates its segment under
+// the log mutex but reads file bytes outside it.
+
+// Lease marks the lowest LSN its holder still needs. While held,
+// checkpoint recycling keeps every segment containing that LSN or
+// anything after it. Advance as consumption progresses so quiesced
+// history can be reclaimed; Release when done.
+type Lease struct {
+	l  *Log
+	id uint64
+}
+
+// RetainFrom registers a lease guaranteeing records from lsn onward
+// stay readable until the lease advances past them or is released.
+func (l *Log) RetainFrom(lsn uint64) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if l.leases == nil {
+		l.leases = make(map[uint64]uint64)
+	}
+	l.leaseSeq++
+	id := l.leaseSeq
+	l.leases[id] = lsn
+	return &Lease{l: l, id: id}, nil
+}
+
+// Advance moves the lease floor forward: records below lsn are no
+// longer needed by this holder. Moving backwards is a no-op — history
+// once released to recycling cannot be re-pinned.
+func (le *Lease) Advance(lsn uint64) {
+	le.l.mu.Lock()
+	if cur, ok := le.l.leases[le.id]; ok && lsn > cur {
+		le.l.leases[le.id] = lsn
+	}
+	le.l.mu.Unlock()
+}
+
+// Release drops the lease. Idempotent.
+func (le *Lease) Release() {
+	le.l.mu.Lock()
+	delete(le.l.leases, le.id)
+	le.l.mu.Unlock()
+}
+
+// OldestLSN returns the first LSN still present in the log's segments
+// (the oldest record a new Reader could start from).
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.nextLSN
+	}
+	return l.segs[0].firstLSN
+}
+
+// Reader streams committed frames from the log in LSN order, holding a
+// lease on everything it has not yet delivered. Next never returns a
+// record past the durable watermark: replication must not ship a frame
+// a crash could still erase. Not safe for concurrent use.
+type Reader struct {
+	l     *Log
+	lease *Lease
+	next  uint64 // LSN the next call to Next will deliver
+
+	// Byte-offset memo for sequential scans: cacheOff is where the frame
+	// for `next` starts inside the segment whose first LSN is cacheFirst.
+	cacheFirst uint64
+	cacheOff   int64
+}
+
+// NewReader opens a streaming reader positioned at from (0 reads from
+// the beginning). Returns ErrCompacted if the log no longer holds that
+// LSN; from may exceed the appended LSN, in which case Next reports no
+// record until the log catches up.
+func (l *Log) NewReader(from uint64) (*Reader, error) {
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if len(l.segs) > 0 {
+		if oldest := l.segs[0].firstLSN; from < oldest {
+			return nil, fmt.Errorf("%w: want lsn %d, oldest retained is %d", ErrCompacted, from, oldest)
+		}
+	}
+	if l.leases == nil {
+		l.leases = make(map[uint64]uint64)
+	}
+	l.leaseSeq++
+	id := l.leaseSeq
+	l.leases[id] = from
+	return &Reader{l: l, lease: &Lease{l: l, id: id}, next: from}, nil
+}
+
+// Pos returns the LSN the next successful Next call will deliver.
+func (r *Reader) Pos() uint64 { return r.next }
+
+// Next returns the next committed record at or below the durable
+// watermark. ok is false when the reader has drained everything durable
+// so far — poll again after more appends/syncs. The returned payload is
+// a fresh copy.
+func (r *Reader) Next() (rec Record, ok bool, err error) {
+	if r.next > r.l.durable.Load() {
+		return Record{}, false, nil
+	}
+	r.l.mu.Lock()
+	if r.l.closed {
+		r.l.mu.Unlock()
+		return Record{}, false, ErrClosed
+	}
+	var file File
+	var first uint64
+	for _, seg := range r.l.segs {
+		if seg.lastLSN != 0 && seg.firstLSN <= r.next && r.next <= seg.lastLSN {
+			file, first = seg.file, seg.firstLSN
+			break
+		}
+	}
+	r.l.mu.Unlock()
+	if file == nil {
+		// Durable says the record exists, yet no segment holds it: the
+		// retention invariant was violated (or the log was mutated out of
+		// band). Surface loudly rather than skipping history.
+		return Record{}, false, fmt.Errorf("wal: lsn %d durable but not retained (retention violated)", r.next)
+	}
+	// The lease pins this segment (its last LSN is at least r.next, the
+	// lease floor), and frames at or below durable are immutable, so the
+	// file reads below need no lock.
+	if r.cacheFirst != first || r.cacheOff < segHeaderLen {
+		off, err := seekFrame(file, first, r.next)
+		if err != nil {
+			return Record{}, false, err
+		}
+		r.cacheFirst, r.cacheOff = first, off
+	}
+	var fh [frameHeader]byte
+	if _, err := file.ReadAt(fh[:], r.cacheOff); err != nil {
+		return Record{}, false, fmt.Errorf("wal: read frame at lsn %d: %w", r.next, err)
+	}
+	plen := binary.BigEndian.Uint32(fh[0:4])
+	crc := binary.BigEndian.Uint32(fh[4:8])
+	gotLSN := binary.BigEndian.Uint64(fh[8:16])
+	if gotLSN != r.next || plen == 0 || plen > maxRecordLen {
+		return Record{}, false, fmt.Errorf("wal: frame at lsn %d has lsn %d, len %d", r.next, gotLSN, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := file.ReadAt(payload, r.cacheOff+frameHeader); err != nil {
+		return Record{}, false, fmt.Errorf("wal: read payload at lsn %d: %w", r.next, err)
+	}
+	h := crc32.NewIEEE()
+	h.Write(fh[8:16])
+	h.Write(payload)
+	if h.Sum32() != crc {
+		return Record{}, false, fmt.Errorf("wal: crc mismatch at lsn %d", r.next)
+	}
+	rec = Record{LSN: r.next, Data: payload}
+	r.cacheOff += frameHeader + int64(plen)
+	r.next++
+	r.lease.Advance(r.next)
+	return rec, true, nil
+}
+
+// seekFrame walks a segment's frames from the header to find the byte
+// offset of the frame carrying lsn. Only frame headers are read; every
+// frame before lsn is fully written (lsn is at most durable).
+func seekFrame(f File, firstLSN, lsn uint64) (int64, error) {
+	off := int64(segHeaderLen)
+	for cur := firstLSN; cur < lsn; cur++ {
+		var fh [frameHeader]byte
+		if _, err := f.ReadAt(fh[:], off); err != nil {
+			return 0, fmt.Errorf("wal: seek to lsn %d: %w", lsn, err)
+		}
+		plen := binary.BigEndian.Uint32(fh[0:4])
+		if got := binary.BigEndian.Uint64(fh[8:16]); got != cur || plen == 0 || plen > maxRecordLen {
+			return 0, fmt.Errorf("wal: seek to lsn %d: frame at offset %d has lsn %d, len %d", lsn, off, got, plen)
+		}
+		off += frameHeader + int64(plen)
+	}
+	return off, nil
+}
+
+// Close releases the reader's lease, letting checkpoints recycle the
+// history it pinned.
+func (r *Reader) Close() { r.lease.Release() }

@@ -49,6 +49,11 @@ const (
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrCompacted is returned by NewReader when the requested LSN has
+// already been recycled by a checkpoint: the caller must re-bootstrap
+// from a snapshot instead of the log.
+var ErrCompacted = errors.New("wal: lsn compacted")
+
 // Options configures a Log.
 type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this
@@ -109,6 +114,13 @@ type Log struct {
 	// records holds what Open scanned, for recovery replay. Dropped at
 	// the first checkpoint to free memory.
 	records []Record
+
+	// leases maps lease id → lowest LSN that holder may still need.
+	// Checkpointed keeps every segment whose last record is at or above
+	// the minimum of these floors, so a tailing reader can never have
+	// its history recycled out from under it. Guarded by mu.
+	leases   map[uint64]uint64
+	leaseSeq uint64
 
 	// syncMu serialises fsyncs: the holder is the group-commit leader,
 	// everyone queued behind it finds durable already advanced.
@@ -471,11 +483,26 @@ func (l *Log) Records(afterLSN uint64) []Record {
 	return l.records[i:]
 }
 
+// minRetainedLocked returns the lowest LSN any live lease still needs,
+// and whether a lease exists at all. Caller holds mu.
+func (l *Log) minRetainedLocked() (uint64, bool) {
+	var floor uint64
+	found := false
+	for _, lsn := range l.leases {
+		if !found || lsn < floor {
+			floor, found = lsn, true
+		}
+	}
+	return floor, found
+}
+
 // Checkpointed tells the log every record up to lsn is now applied in
 // the durably synced page file: covered segments are recycled and the
 // recovery cache is dropped. If the active segment itself is fully
 // covered it is replaced by a fresh one, so a quiesced log occupies one
-// near-empty segment.
+// near-empty segment. Segments a reader lease still retains are kept
+// regardless — a checkpoint must never delete history a tailing reader
+// has yet to stream.
 func (l *Log) Checkpointed(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -484,11 +511,18 @@ func (l *Log) Checkpointed(lsn uint64) error {
 	}
 	l.records = nil
 	l.sinceCkpt = 0
+	floor, leased := l.minRetainedLocked()
+	recyclable := func(seg *segment) bool {
+		if seg.lastLSN == 0 || seg.lastLSN > lsn {
+			return false
+		}
+		return !leased || seg.lastLSN < floor
+	}
 	if len(l.segs) > 0 {
 		last := l.segs[len(l.segs)-1]
-		if last.lastLSN != 0 && last.lastLSN <= lsn {
-			// Everything is covered; start a fresh active segment so
-			// recycling below can take the old one too.
+		if last.lastLSN != 0 && last.lastLSN <= lsn && recyclable(last) {
+			// Everything is covered and unretained; start a fresh active
+			// segment so recycling below can take the old one too.
 			if err := l.addSegmentLocked(l.nextLSN); err != nil {
 				return err
 			}
@@ -497,9 +531,8 @@ func (l *Log) Checkpointed(lsn uint64) error {
 	kept := l.segs[:0]
 	for i, seg := range l.segs {
 		isActive := i == len(l.segs)-1
-		covered := seg.lastLSN != 0 && seg.lastLSN <= lsn
 		empty := seg.lastLSN == 0 && !isActive
-		if !isActive && (covered || empty) {
+		if !isActive && (recyclable(seg) || empty) {
 			seg.file.Close()
 			if err := l.fs.Remove(seg.name); err != nil {
 				return fmt.Errorf("wal: recycle segment %s: %w", seg.name, err)

@@ -121,7 +121,7 @@ func (ix *Index) insertLocked(gpts []geom.Point) (uint64, error) {
 		}
 		den = next
 	}
-	return ix.commitMutationLocked(b, recInsert, gpts, den)
+	return ix.commitMutationLocked(b, ix.encodeFor(recInsert, gpts), den)
 }
 
 // Delete removes one point (matched by coordinates and ID) and reports
@@ -216,11 +216,20 @@ func (ix *Index) deleteLocked(gpts []geom.Point) ([]bool, uint64, error) {
 		}
 		den = next
 	}
-	lsn, err := ix.commitMutationLocked(b, recDelete, removed, den)
+	lsn, err := ix.commitMutationLocked(b, ix.encodeFor(recDelete, removed), den)
 	if err != nil {
 		return nil, 0, err
 	}
 	return founds, lsn, nil
+}
+
+// encodeFor builds the WAL payload for a mutation, nil when the index
+// has no log (the bytes would be discarded unused).
+func (ix *Index) encodeFor(op byte, pts []geom.Point) []byte {
+	if ix.dur == nil {
+		return nil
+	}
+	return encodeMutation(op, pts)
 }
 
 // commitMutationLocked runs the tail every mutation shares: log the
@@ -230,11 +239,11 @@ func (ix *Index) deleteLocked(gpts []geom.Point) ([]bool, uint64, error) {
 // publish failure after the append is neutralised with an abort record
 // so recovery does not replay a mutation the caller saw fail. Caller
 // holds ix.wmu.
-func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, op byte, pts []geom.Point, den *grid.Density) (uint64, error) {
+func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, payload []byte, den *grid.Density) (uint64, error) {
 	var lsn uint64
 	if ix.dur != nil {
 		var err error
-		if lsn, err = ix.dur.append(op, pts); err != nil {
+		if lsn, err = ix.dur.append(payload); err != nil {
 			b.Discard()
 			return 0, err
 		}
@@ -246,16 +255,109 @@ func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, op byte, pts []geom.P
 		}
 		return 0, err
 	}
-	if err := ix.publishLocked(newTree, den, retired); err != nil {
+	if err := ix.publishLocked(newTree, den, retired, lsn); err != nil {
 		if ix.dur != nil {
 			ix.dur.abort(lsn)
 		}
 		return 0, err
 	}
 	if ix.dur != nil {
+		// Published: the record's fate is decided and the replication
+		// stream may ship it (the abort paths above settle via abort()).
+		ix.dur.settled.Store(lsn)
 		ix.dur.maybeCheckpointLocked(ix.cur.Load().tree)
 	}
 	return lsn, nil
+}
+
+// applyReplicatedLocked mirrors insertLocked/deleteLocked for a record
+// replicated from a leader. Deletes tolerate absent points (exactly as
+// WAL replay does) and always commit even when nothing matched: the
+// follower's replica position must advance past the record either way.
+// payload is the recApply-wrapped record for this follower's own log.
+// Caller holds ix.wmu.
+func (ix *Index) applyReplicatedLocked(op byte, gpts []geom.Point, payload []byte) (uint64, error) {
+	old := ix.cur.Load()
+	b, err := old.tree.BeginWrite()
+	if err != nil {
+		return 0, err
+	}
+	den := old.grid
+	if op == recInsert {
+		for i := range gpts {
+			if err := b.Tree().Insert(gpts[i]); err != nil {
+				b.Discard()
+				return 0, err
+			}
+		}
+		for i := range gpts {
+			next, err := den.WithAdd(gpts[i])
+			if err != nil {
+				next, err = rebuildGrid(b.Tree(), old.grid, &gpts[i])
+				if err != nil {
+					b.Discard()
+					return 0, err
+				}
+				den = next
+				break
+			}
+			den = next
+		}
+	} else {
+		removed := make([]geom.Point, 0, len(gpts))
+		for _, gp := range gpts {
+			found, err := b.Tree().Delete(gp)
+			if err != nil {
+				b.Discard()
+				return 0, err
+			}
+			if found {
+				removed = append(removed, gp)
+			}
+		}
+		for _, gp := range removed {
+			next, err := den.WithRemove(gp)
+			if err != nil {
+				next, err = rebuildGrid(b.Tree(), old.grid, nil)
+				if err != nil {
+					b.Discard()
+					return 0, err
+				}
+				den = next
+				break
+			}
+			den = next
+		}
+	}
+	return ix.commitMutationLocked(b, payload, den)
+}
+
+// resetLocked discards every indexed point as one logged mutation — the
+// follower's first step of a snapshot re-bootstrap. Caller holds
+// ix.wmu.
+func (ix *Index) resetLocked() (uint64, error) {
+	old := ix.cur.Load()
+	b, err := old.tree.BeginWrite()
+	if err != nil {
+		return 0, err
+	}
+	pts, err := b.Tree().All()
+	if err != nil {
+		b.Discard()
+		return 0, err
+	}
+	for _, gp := range pts {
+		if _, err := b.Tree().Delete(gp); err != nil {
+			b.Discard()
+			return 0, err
+		}
+	}
+	den, err := rebuildGrid(b.Tree(), old.grid, nil)
+	if err != nil {
+		b.Discard()
+		return 0, err
+	}
+	return ix.commitMutationLocked(b, []byte{recReset}, den)
 }
 
 // waitDurable blocks until the mutation at lsn is durable under the

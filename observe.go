@@ -137,7 +137,14 @@ type WALMetrics struct {
 	// not yet fsynced mutations (equal under SyncAlways at rest).
 	AppendedLSN uint64 `json:"appended_lsn"`
 	DurableLSN  uint64 `json:"durable_lsn"`
-	SyncPolicy  string `json:"sync_policy"`
+	// CommittedLSN is the record the current published view reflects —
+	// the newest mutation a query can observe, and the convergence
+	// target for replication followers.
+	CommittedLSN uint64 `json:"committed_lsn"`
+	// ReplicaLSN is the highest leader LSN applied locally when this
+	// index is a replication follower; zero on leaders.
+	ReplicaLSN uint64 `json:"replica_lsn"`
+	SyncPolicy string `json:"sync_policy"`
 }
 
 // MetricsSnapshot is a point-in-time copy of the index's aggregated
@@ -258,15 +265,15 @@ func (ix *Index) Metrics() MetricsSnapshot {
 			Count:         m.queries[k].Value(),
 			Errors:        m.errors[k].Value(),
 			LatencyMeanMs: lat.Mean() * 1e3,
-			LatencyP50Ms:  lat.Quantile(0.50) * 1e3,
-			LatencyP95Ms:  lat.Quantile(0.95) * 1e3,
-			LatencyP99Ms:  lat.Quantile(0.99) * 1e3,
+			LatencyP50Ms:  lat.QuantileOr(0.50, 0) * 1e3,
+			LatencyP95Ms:  lat.QuantileOr(0.95, 0) * 1e3,
+			LatencyP99Ms:  lat.QuantileOr(0.99, 0) * 1e3,
 		}
 		if k == kindNWC || k == kindKNWC {
 			km.NodeVisitsMean = vis.Mean()
-			km.NodeVisitsP50 = vis.Quantile(0.50)
-			km.NodeVisitsP95 = vis.Quantile(0.95)
-			km.NodeVisitsP99 = vis.Quantile(0.99)
+			km.NodeVisitsP50 = vis.QuantileOr(0.50, 0)
+			km.NodeVisitsP95 = vis.QuantileOr(0.95, 0)
+			km.NodeVisitsP99 = vis.QuantileOr(0.99, 0)
 		}
 		out.Queries[kindNames[k]] = km
 	}
@@ -298,6 +305,8 @@ func (ix *Index) Metrics() MetricsSnapshot {
 			RecordsReplayed:  d.replayed,
 			AppendedLSN:      d.log.AppendedLSN(),
 			DurableLSN:       d.log.DurableLSN(),
+			CommittedLSN:     ix.cur.Load().lsn,
+			ReplicaLSN:       d.replica.Load(),
 			SyncPolicy:       d.policy.String(),
 		}
 	}
@@ -390,6 +399,10 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 		pw.Value("nwcq_wal_appended_lsn", nil, float64(d.log.AppendedLSN()))
 		pw.Header("nwcq_wal_durable_lsn", "gauge", "Highest LSN known fsynced to stable storage.")
 		pw.Value("nwcq_wal_durable_lsn", nil, float64(d.log.DurableLSN()))
+		pw.Header("nwcq_wal_committed_lsn", "gauge", "LSN of the current published view (replica convergence target).")
+		pw.Value("nwcq_wal_committed_lsn", nil, float64(ix.cur.Load().lsn))
+		pw.Header("nwcq_replica_lsn", "gauge", "Highest leader LSN applied locally (zero unless a replication follower).")
+		pw.Value("nwcq_replica_lsn", nil, float64(d.replica.Load()))
 	}
 	writeResultCacheProm(pw, ix.cache.metrics())
 	return pw.Err

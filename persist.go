@@ -195,16 +195,38 @@ func buildPagedOn(points []Point, f pagedFile, wfs wal.FS, o buildOptions) (px *
 	}
 	var dur *durability
 	if wfs != nil {
-		// A fresh log plus an initial checkpoint at LSN 0: the build is
-		// the durable image, the (empty) log takes over from here.
+		// A fresh log plus an initial checkpoint: the build is the
+		// durable image, the log takes over from here.
 		if log, err = wal.Create(wfs, walOptions(o)); err != nil {
 			return nil, err
+		}
+		ckptLSN := uint64(0)
+		if len(points) > 0 {
+			// The bulk-built base never went through the log, so no record
+			// replay can reconstruct it onto an empty replica. Burn LSN 1
+			// on a no-op marker and checkpoint past it: history "from the
+			// beginning" is then honestly compacted, and a replication
+			// stream that would need it gets ErrCompacted — forcing the
+			// snapshot bootstrap — instead of silently missing the base.
+			var lsn uint64
+			if lsn, err = log.Append(encodeMutation(recInsert, nil)); err != nil {
+				return nil, err
+			}
+			if err = log.Sync(lsn); err != nil {
+				return nil, err
+			}
+			ckptLSN = lsn
 		}
 		if err = pages.SyncData(); err != nil {
 			return nil, err
 		}
-		if err = pages.WriteCheckpoint(0); err != nil {
+		if err = pages.WriteCheckpoint(ckptLSN); err != nil {
 			return nil, err
+		}
+		if ckptLSN > 0 {
+			if err = log.Checkpointed(ckptLSN); err != nil {
+				return nil, err
+			}
 		}
 		dur = newDurability(log, pages, o)
 	} else if err = pages.Sync(); err != nil {
@@ -243,11 +265,13 @@ func openPagedOn(f pagedFile, wfs wal.FS, o buildOptions) (px *PagedIndex, err e
 		}
 		dur = newDurability(log, pages, o)
 		var replayed int
-		tree, replayed, err = replayWAL(tree, log, pages.CheckpointLSN())
+		var replica uint64
+		tree, replayed, replica, err = replayWAL(tree, log, pages.CheckpointLSN(), pages.ReplicaLSN())
 		if err != nil {
 			return nil, fmt.Errorf("nwcq: wal recovery: %w", err)
 		}
 		dur.replayed = uint64(replayed)
+		dur.replica.Store(replica)
 		if replayed > 0 {
 			// Fold the replay into a fresh checkpoint before any page
 			// can be reallocated; until it lands, the previous durable
@@ -294,6 +318,11 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 	v, err := newView(frozen, den)
 	if err != nil {
 		return nil, err
+	}
+	if log != nil {
+		// The initial view reflects every log record (replay applied or
+		// skipped each one), so it commits at the appended frontier.
+		v.lsn = log.AppendedLSN()
 	}
 	iwpIdx, err := iwp.Build(frozen)
 	if err != nil {
@@ -355,7 +384,7 @@ func (p *PagedIndex) Close() error {
 	var firstErr error
 	if p.dur != nil {
 		p.wmu.Lock()
-		firstErr = p.dur.checkpointLocked(p.cur.Load().tree)
+		firstErr = p.dur.closeLocked(p.cur.Load().tree)
 		p.wmu.Unlock()
 		if err := p.log.Close(); err != nil && firstErr == nil {
 			firstErr = err

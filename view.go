@@ -40,6 +40,12 @@ type view struct {
 	// entire invalidation protocol is comparing this number.
 	gen uint64
 
+	// lsn is the WAL record this view's state corresponds to: every
+	// record at or below lsn is reflected (applied or aborted), nothing
+	// above it is. Zero on non-WAL indexes. Replication snapshots and
+	// the committed-LSN watermark read it off the published view.
+	lsn uint64
+
 	// IWP pointers are built per view, on demand, exactly once: the
 	// first IWP-scheme query on a fresh view populates iwpState under
 	// iwpMu (single-flight); every later query reads it with one atomic
@@ -159,15 +165,17 @@ func (ix *Index) engineFor(v *view, scheme core.Scheme) (*core.Engine, error) {
 
 // publishLocked installs the next version: swap in the new view, queue
 // the old one for retirement carrying the node IDs its replacement
-// obsoleted, and opportunistically drain the queue. Callers hold
+// obsoleted, and opportunistically drain the queue. lsn is the WAL
+// record the new view reflects (0 on non-WAL indexes). Callers hold
 // ix.wmu. On error nothing has been published.
-func (ix *Index) publishLocked(tree *rstar.Tree, den *grid.Density, retired []rstar.NodeID) error {
+func (ix *Index) publishLocked(tree *rstar.Tree, den *grid.Density, retired []rstar.NodeID, lsn uint64) error {
 	nv, err := newView(tree, den)
 	if err != nil {
 		return err
 	}
 	old := ix.cur.Load()
 	nv.iwpBytesHint = old.iwpBytes()
+	nv.lsn = lsn
 	// Stamp the generation before the swap: the instant nv is visible,
 	// ViewGeneration reports a number strictly above every entry cached
 	// against the superseded view, so a stale hit is impossible.
