@@ -5,6 +5,8 @@
 //	nwcload -url http://localhost:8080 -duration 30s -warmup 5s \
 //	    -mode open -rate 2000 -knwc-share 0.2 -mutate-share 0.05 \
 //	    -slo 'nwc_p99<5ms@1krps,all_p999<50ms' -out BENCH_load.json
+//	nwcload -url http://localhost:8080 -duration 30s -mutate-share 0.5 \
+//	    -subs 8 -slo 'sub_p99<50ms'              # continuous-query delivery
 //
 // Closed-loop mode (-mode closed, the default) runs -workers requests
 // in lock-step and measures service latency. Open-loop mode (-mode
@@ -59,6 +61,7 @@ func main() {
 		batchShare  = flag.Float64("batch-share", 0, "fraction of ops that are POST /batch/nwc requests")
 		batchSize   = flag.Int("batch-size", 16, "queries per batch op")
 		mutateShare = flag.Float64("mutate-share", 0, "fraction of ops that are insert/delete mutations")
+		subs        = flag.Int("subs", 0, "standing-query SSE subscriptions held open for the run; each delivered frame records publish→notify latency under the 'sub' class (pair with -mutate-share)")
 		hotShare    = flag.Float64("hot-share", 0, "fraction of query centers drawn from the Gaussian hot spot")
 		hotSigma    = flag.Float64("hot-sigma", 250, "hot-spot standard deviation")
 		seed        = flag.Int64("seed", 1, "op-stream seed (reproducible runs)")
@@ -92,6 +95,7 @@ func main() {
 		Workers:  *workers,
 		Duration: *duration,
 		Warmup:   *warmup,
+		Subs:     *subs,
 		Seed:     *seed,
 		Profile: loadgen.Profile{
 			Window:      *window,

@@ -7,12 +7,13 @@
 //	nwcserve -index ca.nwc                     # reopen (crash recovery)
 //	nwcserve -data ca.csv -shards 4 -parallelism 4 -result-cache 1024
 //	nwcserve -follow http://leader:8080 -index replica.nwc -addr :8081
-
+//
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8'
 //	curl 'localhost:8080/nwc?x=5000&y=5000&l=50&w=50&n=8&explain=1'
 //	curl 'localhost:8080/knwc?x=5000&y=5000&l=50&w=50&n=8&k=3&m=1'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics?format=prometheus'
+//	curl -N 'localhost:8080/subscribe?x=5000&y=5000&l=50&w=50&n=8'
 //	curl 'localhost:8080/debug/slowlog'
 //	curl 'localhost:8080/readyz'
 //	go tool pprof 'localhost:8080/debug/pprof/profile?seconds=10'
@@ -43,6 +44,13 @@
 // GET /wal/stream, and serves queries only — mutations answer 501.
 // /readyz additionally gates on the replica having caught up within
 // -max-replica-lag, so load balancers never route to a stale follower.
+//
+// GET /subscribe registers a standing NWC query and streams its answer
+// as Server-Sent Events whenever a mutation may have changed it, with
+// Last-Event-ID resume (works on leaders, followers and sharded
+// backends; tune the per-subscription queue with -sub-queue). With
+// -retain-views N, as_of_lsn= on /nwc and /knwc reads the answer as of
+// a past LSN from the retained views.
 package main
 
 import (
@@ -83,6 +91,8 @@ func main() {
 		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 		follow      = flag.String("follow", "", "run as a read replica of this leader URL (e.g. http://leader:8080); requires -index, serves reads only")
 		maxLag      = flag.Duration("max-replica-lag", 10*time.Second, "with -follow: /readyz answers 503 once the replica lags the leader by more than this (0 disables the gate)")
+		retainViews = flag.Int("retain-views", 0, "retain the last N superseded index views for as_of_lsn temporal reads (0 disables; single index only)")
+		subQueue    = flag.Int("sub-queue", 0, "per-subscription pending-frame queue for GET /subscribe (0 = default 64); overflow coalesces to a resync frame")
 		logFormat   = flag.String("log-format", "text", "access log format: text or json")
 		accessLog   = flag.Bool("access-log", true, "log every HTTP request")
 		querySample = flag.Int("query-log-sample", 0, "sample 1 in N NWC/kNWC requests into the wide-event query log (0 disables)")
@@ -98,6 +108,12 @@ func main() {
 	opts := []nwcq.BuildOption{nwcq.WithSlowQueryThreshold(*slowlog)}
 	if *bulk {
 		opts = append(opts, nwcq.WithBulkLoad())
+	}
+	if *retainViews > 0 {
+		opts = append(opts, nwcq.WithViewRetention(*retainViews))
+	}
+	if *subQueue > 0 {
+		opts = append(opts, nwcq.WithSubscriptionQueue(*subQueue))
 	}
 	switch *walSync {
 	case "always":
@@ -169,8 +185,9 @@ func main() {
 			fatal(logger, err)
 		}
 	}
+	api := server.New(qr, mu, srvOpts...)
 	mux := http.NewServeMux()
-	mux.Handle("/", server.New(qr, mu, srvOpts...).Handler())
+	mux.Handle("/", api.Handler())
 	// Profiling endpoints: CPU/heap/goroutine profiles for go tool pprof.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -196,6 +213,10 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		logger.Info("shutting down", "grace", *shutdownTO)
+		// End the long-lived streams (WAL shipping, SSE subscriptions)
+		// first: Shutdown waits for in-flight handlers, and those never
+		// finish while their clients stay connected.
+		api.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 		err := srv.Shutdown(shutdownCtx)
 		cancel()
@@ -423,37 +444,19 @@ func bootHandler(h *server.Health) http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response status for the access log.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// Flush keeps streaming endpoints (the WAL stream) working through the
-// wrapper; without it, frames queue in net/http's buffer until it
-// overflows and a follower sees heartbeats tens of seconds late.
-func (r *statusRecorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
 // logRequests wraps h with one structured access-log line per request.
+// server.StatusWriter preserves http.Flusher, which the streaming
+// endpoints (WAL shipping, SSE subscriptions) depend on.
 func logRequests(logger *slog.Logger, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := server.NewStatusWriter(w)
 		h.ServeHTTP(rec, r)
 		logger.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
-			"status", rec.status,
+			"status", rec.Status(),
 			"duration", time.Since(start).Round(time.Microsecond),
 			"remote", r.RemoteAddr)
 	})

@@ -17,11 +17,15 @@ const (
 	ClassKNWC   = "knwc"
 	ClassBatch  = "batch"
 	ClassMutate = "mutate"
-	ClassAll    = "all" // aggregate pseudo-class, SLO targets only
+	// ClassSub records standing-query delivery: each sample is one SSE
+	// frame's publish→notify latency (server publish instant to client
+	// receipt), not a request round trip (subscribe.go).
+	ClassSub = "sub"
+	ClassAll = "all" // aggregate pseudo-class, SLO targets only
 )
 
 // Classes lists the concrete op classes in report order.
-var Classes = []string{ClassNWC, ClassKNWC, ClassBatch, ClassMutate}
+var Classes = []string{ClassNWC, ClassKNWC, ClassBatch, ClassMutate, ClassSub}
 
 // Op is one generated request, ready to issue.
 type Op struct {

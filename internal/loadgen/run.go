@@ -51,6 +51,12 @@ type Config struct {
 	Duration, Warmup time.Duration
 	// Profile is the query mix.
 	Profile Profile
+	// Subs opens that many standing-query SSE subscriptions
+	// (GET /subscribe) for the whole run, each recording publish→notify
+	// latency per delivered frame under the "sub" class. Pair with a
+	// non-zero Profile.MutateShare — without mutations nothing publishes
+	// and the subscribers only ever see their init frame.
+	Subs int
 	// Seed makes the generated op stream reproducible.
 	Seed int64
 	// Client overrides the HTTP client (tests); nil builds one sized to
@@ -73,6 +79,9 @@ func (c *Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("loadgen: negative workers")
+	}
+	if c.Subs < 0 {
+		return fmt.Errorf("loadgen: negative subs")
 	}
 	if c.Workers == 0 {
 		c.Workers = 8
@@ -187,6 +196,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	ids := &atomic.Uint64{}
 	var dropped atomic.Uint64
 	var wg sync.WaitGroup
+
+	// Standing-query subscribers ride alongside the request workers:
+	// each holds one SSE stream open and records every delivered frame's
+	// publish→notify latency (subscribe.go).
+	for i := 0; i < cfg.Subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := cfg.Profile.NewGen(cfg.Seed+int64(i)*104729+31, ids)
+			subscribeLoop(runCtx, client, base, gen, &rec)
+		}(i)
+	}
 
 	switch cfg.Mode {
 	case "closed":

@@ -44,7 +44,7 @@ func ParseSLO(spec string) (SLO, error) {
 	}
 	s.Class = left[:p]
 	switch s.Class {
-	case ClassNWC, ClassKNWC, ClassBatch, ClassMutate, ClassAll:
+	case ClassNWC, ClassKNWC, ClassBatch, ClassMutate, ClassSub, ClassAll:
 	default:
 		return s, fmt.Errorf("loadgen: SLO %q names unknown class %q", spec, s.Class)
 	}

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Standing-query subscribers: each holds one GET /subscribe SSE stream
+// open for the run and records a "sub"-class sample per delivered
+// frame. The sample is publish→notify latency — the server stamps each
+// frame with the publishing mutation's wall-clock instant
+// (published_unix_ns) and the subscriber measures receipt against it —
+// so the class answers "how stale is a continuous query's answer when
+// it reaches the client", which no request/response latency captures.
+// Frames without the stamp (init frames, and resyncs whose trigger
+// instant was coalesced away) carry no latency and are not recorded.
+
+// subReconnectDelay paces reconnect attempts after a dropped stream so
+// a down server is probed, not hammered.
+const subReconnectDelay = 100 * time.Millisecond
+
+// subscribeLoop keeps one standing query subscribed for the context's
+// lifetime, reconnecting (from scratch — at-least-once delivery makes
+// that safe) whenever the stream drops.
+func subscribeLoop(ctx context.Context, client *http.Client, base string, gen *Gen, rec *atomic.Pointer[Recorder]) {
+	// One standing query per subscriber for its whole lifetime: the
+	// point of the class is delivery latency of a stable subscription,
+	// not subscribe-call throughput.
+	url := base + "/subscribe?" + gen.queryValues().Encode()
+	for ctx.Err() == nil {
+		readSubscription(ctx, client, url, rec)
+		select {
+		case <-ctx.Done():
+		case <-time.After(subReconnectDelay):
+		}
+	}
+}
+
+// readSubscription consumes one SSE stream until it ends (server
+// shutdown, network error or context cancellation), recording every
+// stamped frame.
+func readSubscription(ctx context.Context, client *http.Client, url string, rec *atomic.Pointer[Recorder]) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if ctx.Err() == nil {
+			rec.Load().Record(ClassSub, 0, true)
+		}
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				recordFrame(rec, data.String())
+				data.Reset()
+			}
+		case strings.HasPrefix(line, "data:"):
+			// Multi-line data fields concatenate per the SSE spec; the
+			// server emits single-line JSON but the parser stays general.
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:/event: lines and ": hb" heartbeat comments carry nothing
+			// the latency accounting needs.
+		}
+	}
+}
+
+// recordFrame parses one SSE data payload and records its
+// publish→notify latency when the frame carries a publish stamp.
+func recordFrame(rec *atomic.Pointer[Recorder], data string) {
+	var f struct {
+		PublishedUnixNS int64 `json:"published_unix_ns"`
+	}
+	if json.Unmarshal([]byte(data), &f) != nil || f.PublishedUnixNS == 0 {
+		return
+	}
+	lat := time.Since(time.Unix(0, f.PublishedUnixNS))
+	if lat < 0 {
+		lat = 0 // clock skew between harness and server hosts
+	}
+	rec.Load().Record(ClassSub, lat, false)
+}

@@ -155,6 +155,10 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-ctx.Done():
 			return
+		case <-s.closing:
+			// Server shutdown: end the stream now so http.Server.Shutdown
+			// is not held hostage by a follower that never hangs up.
+			return
 		case <-beat.C:
 			if !heartbeat() || !flush() {
 				return

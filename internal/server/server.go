@@ -5,13 +5,14 @@
 //
 // Endpoints:
 //
-//	GET  /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=][&explain=1] one group
-//	GET  /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=][&explain=1] k groups
+//	GET  /nwc?x=&y=&l=&w=&n=[&scheme=][&measure=][&explain=1][&as_of_lsn=] one group
+//	GET  /knwc?x=&y=&l=&w=&n=&k=[&m=][&scheme=][&measure=][&explain=1][&as_of_lsn=] k groups
 //	GET  /nearest?x=&y=&k=                                 plain k-NN
 //	POST /insert {"x":,"y":,"id":}                         add one point
 //	POST /delete {"x":,"y":,"id":}                         remove one point
 //	POST /batch/nwc {"queries":[...]}                      many NWC in one call
 //	POST /batch/knwc {"queries":[...]}                     many kNWC in one call
+//	GET  /subscribe?x=&y=&l=&w=&n=[&last_event_id=]        standing NWC query (SSE)
 //	GET  /stats                                            index + I/O counters
 //	GET  /metrics[?format=prometheus]                      latency/I-O histograms
 //	GET  /debug/slowlog                                    slow-query ring
@@ -31,6 +32,13 @@
 // additionally written ahead to the index's log before the 200 is sent,
 // so an acknowledged insert or delete survives a crash.
 //
+// GET /subscribe holds the connection open and streams the standing
+// query's answer as Server-Sent Events — one full answer per frame,
+// stamped with the WAL LSN that produced it — with Last-Event-ID
+// resume. When the index retains superseded views (-retain-views),
+// as_of_lsn= on /nwc and /knwc answers the query as of that LSN (410
+// once the view has aged out).
+//
 // Passing explain=1 to /nwc or /knwc runs the query with per-query
 // structured tracing enabled and attaches the phase-by-phase trace to
 // the response; /metrics?format=prometheus renders the same metrics in
@@ -46,6 +54,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"nwcq"
@@ -89,6 +98,13 @@ type Server struct {
 	// replica reports follower status (WithReplica); nil on leaders and
 	// standalone servers.
 	replica func() repl.Status
+
+	// closing is closed by Close: the long-lived streaming handlers
+	// (GET /wal/stream, GET /subscribe) select on it so a graceful
+	// shutdown terminates them promptly instead of waiting out their
+	// clients.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // New wraps a query backend and an optional mutation backend. Any
@@ -100,8 +116,8 @@ type Server struct {
 // there too. Options attach the readiness gate (WithHealth) and the
 // sampled wide-event query log (WithQueryLog).
 func New(q nwcq.Querier, m nwcq.Mutator, opts ...Option) *Server {
-	s := &Server{idx: q, mut: m, endpoints: make(map[string]*endpointStats)}
-	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog", "batch_nwc", "batch_knwc", "wal_stream"} {
+	s := &Server{idx: q, mut: m, endpoints: make(map[string]*endpointStats), closing: make(chan struct{})}
+	for _, name := range []string{"nwc", "knwc", "nearest", "insert", "delete", "stats", "metrics", "slowlog", "batch_nwc", "batch_knwc", "wal_stream", "subscribe"} {
 		s.endpoints[name] = newEndpointStats()
 	}
 	for _, opt := range opts {
@@ -124,6 +140,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /batch/nwc", s.instrument("batch_nwc", s.handleBatchNWC))
 	mux.HandleFunc("POST /batch/knwc", s.instrument("batch_knwc", s.handleBatchKNWC))
 	mux.HandleFunc("GET /wal/stream", s.instrument("wal_stream", s.handleWALStream))
+	mux.HandleFunc("GET /subscribe", s.instrument("subscribe", s.handleSubscribe))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -148,36 +165,27 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter records the status code so instrumentation can classify
-// the response after the handler returns.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
+// Close signals the long-lived streaming handlers (GET /wal/stream,
+// GET /subscribe) to end their responses. Call it before (or alongside)
+// http.Server.Shutdown: Shutdown waits for active handlers, and a
+// streaming handler never finishes on its own. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.closing) })
+	return nil
 }
 
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Flush passes streaming through the wrapper; without it the WAL stream
-// handler would see a non-Flusher writer and refuse to serve.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// instrument wraps a handler with per-endpoint timing and counting.
+// instrument wraps a handler with per-endpoint timing and counting. The
+// StatusWriter wrapper preserves http.Flusher for the streaming
+// endpoints (statuswriter.go).
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw := NewStatusWriter(w)
 		h(sw, r)
 		ep.requests.Inc()
 		ep.latency.Observe(time.Since(start).Seconds())
-		if sw.code >= 400 {
+		if sw.Status() >= 400 {
 			ep.failures.Inc()
 			s.failed.Inc()
 		} else {
@@ -353,15 +361,28 @@ func (s *Server) handleNWC(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	asOf, asOfSet, err := asOfFromRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	var (
 		res nwcq.Result
 		qt  *nwcq.QueryTrace
 	)
 	ctx, ev := s.qlog.attach(r.Context())
 	start := time.Now()
-	if wantExplain(r) {
+	switch {
+	case asOfSet:
+		tq, ok := s.idx.(nwcq.TemporalQuerier)
+		if !ok {
+			s.fail(w, http.StatusNotImplemented, errNoTemporal)
+			return
+		}
+		res, err = tq.NWCAsOf(ctx, q, asOf)
+	case wantExplain(r):
 		res, qt, err = s.idx.ExplainNWC(ctx, q)
-	} else {
+	default:
 		res, err = s.idx.NWCCtx(ctx, q)
 	}
 	s.qlog.emit("nwc", q, 0, 0, time.Since(start), res.Found, ev, err)
@@ -407,15 +428,28 @@ func (s *Server) handleKNWC(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	kq := nwcq.KQuery{Query: q, K: k, M: m}
+	asOf, asOfSet, err := asOfFromRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	var (
 		res nwcq.KResult
 		qt  *nwcq.QueryTrace
 	)
 	ctx, ev := s.qlog.attach(r.Context())
 	start := time.Now()
-	if wantExplain(r) {
+	switch {
+	case asOfSet:
+		tq, ok := s.idx.(nwcq.TemporalQuerier)
+		if !ok {
+			s.fail(w, http.StatusNotImplemented, errNoTemporal)
+			return
+		}
+		res, err = tq.KNWCAsOf(ctx, kq, asOf)
+	case wantExplain(r):
 		res, qt, err = s.idx.ExplainKNWC(ctx, kq)
-	} else {
+	default:
 		res, err = s.idx.KNWCCtx(ctx, kq)
 	}
 	s.qlog.emit("knwc", q, k, m, time.Since(start), res.Found, ev, err)
@@ -443,6 +477,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, nwcq.ErrInvalidQuery):
 		return http.StatusBadRequest
+	case errors.Is(err, nwcq.ErrLSNNotRetained):
+		// The requested version is outside the retained window: gone (or
+		// not yet); retrying the same LSN will not help.
+		return http.StatusGone
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// 499: client closed request (nginx convention); the write will
 		// usually go nowhere, but the accounting classifies it failed.

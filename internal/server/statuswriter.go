@@ -1,0 +1,38 @@
+package server
+
+import "net/http"
+
+// StatusWriter wraps a ResponseWriter to record the response status
+// while passing http.Flusher through. Every wrapper on the request path
+// must preserve Flusher: the streaming endpoints (GET /wal/stream,
+// GET /subscribe) refuse to serve through a non-Flusher writer, and a
+// wrapper that silently drops the interface buffers live frames until
+// net/http's buffer overflows — the bug this shared type exists to
+// prevent recurring (it was fixed independently in two wrappers before
+// being extracted here).
+type StatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// NewStatusWriter wraps w, with the status defaulting to 200 (net/http
+// sends 200 when a handler writes without calling WriteHeader).
+func NewStatusWriter(w http.ResponseWriter) *StatusWriter {
+	return &StatusWriter{ResponseWriter: w, status: http.StatusOK}
+}
+
+// Status returns the recorded response status.
+func (w *StatusWriter) Status() int { return w.status }
+
+// WriteHeader records the status and forwards it.
+func (w *StatusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer's Flusher, if any.
+func (w *StatusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

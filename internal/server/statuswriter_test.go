@@ -1,0 +1,51 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// flushCounter is a ResponseWriter that counts Flush calls.
+type flushCounter struct {
+	http.ResponseWriter
+	flushes int
+}
+
+func (f *flushCounter) Flush() { f.flushes++ }
+
+// plainWriter deliberately does not implement http.Flusher.
+type plainWriter struct{ http.ResponseWriter }
+
+// TestStatusWriterPreservesFlusher is the regression guard for the bug
+// this wrapper was extracted to fix twice: a logging/metrics wrapper
+// that hides the underlying Flusher silently breaks every streaming
+// endpoint. The wrapper must stay a Flusher and must forward the call.
+func TestStatusWriterPreservesFlusher(t *testing.T) {
+	under := &flushCounter{ResponseWriter: httptest.NewRecorder()}
+	sw := NewStatusWriter(under)
+	fl, ok := any(sw).(http.Flusher)
+	if !ok {
+		t.Fatal("StatusWriter does not implement http.Flusher")
+	}
+	fl.Flush()
+	if under.flushes != 1 {
+		t.Fatalf("Flush reached the underlying writer %d times, want 1", under.flushes)
+	}
+
+	// A non-flushing underlying writer: Flush must be a safe no-op.
+	NewStatusWriter(&plainWriter{httptest.NewRecorder()}).Flush()
+}
+
+// TestStatusWriterRecordsStatus pins the other half of the contract:
+// the default is 200, and WriteHeader is observed.
+func TestStatusWriterRecordsStatus(t *testing.T) {
+	sw := NewStatusWriter(httptest.NewRecorder())
+	if sw.Status() != http.StatusOK {
+		t.Fatalf("default status %d, want 200", sw.Status())
+	}
+	sw.WriteHeader(http.StatusTeapot)
+	if sw.Status() != http.StatusTeapot {
+		t.Fatalf("status %d after WriteHeader(418)", sw.Status())
+	}
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nwcq"
+)
+
+// sseEvent is one parsed Server-Sent Events frame.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readSSEEvent reads the next event off the stream, skipping heartbeat
+// comments.
+func readSSEEvent(br *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.event != "" || ev.data != "" {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			ev.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			ev.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// mustReadEvent bounds a stream read so a stalled server fails the test
+// instead of hanging it.
+func mustReadEvent(t *testing.T, br *bufio.Reader) sseEvent {
+	t.Helper()
+	type res struct {
+		ev  sseEvent
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		ev, err := readSSEEvent(br)
+		ch <- res{ev, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("read SSE event: %v", r.err)
+		}
+		return r.ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for an SSE event")
+		return sseEvent{}
+	}
+}
+
+// subFrame mirrors the wire payload the handler emits.
+type subFrame struct {
+	Kind            string `json:"kind"`
+	LSN             uint64 `json:"lsn"`
+	Gen             uint64 `json:"gen"`
+	PublishedUnixNS int64  `json:"published_unix_ns"`
+	Found           bool   `json:"found"`
+	Group           *struct {
+		Dist float64 `json:"dist"`
+	} `json:"group"`
+}
+
+func parseFrame(t *testing.T, ev sseEvent) subFrame {
+	t.Helper()
+	var f subFrame
+	if err := json.Unmarshal([]byte(ev.data), &f); err != nil {
+		t.Fatalf("frame data %q: %v", ev.data, err)
+	}
+	if f.Kind != ev.event {
+		t.Fatalf("data kind %q disagrees with event line %q", f.Kind, ev.event)
+	}
+	if ev.id != fmt.Sprint(f.LSN) {
+		t.Fatalf("id line %q disagrees with frame LSN %d", ev.id, f.LSN)
+	}
+	return f
+}
+
+func mustPost(t *testing.T, url, body string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+}
+
+// subTestPaged builds a WAL-backed index whose 60×60 window around
+// (500, 500) starts empty: base points live in [0, 300]², so the test
+// fully controls when the standing query's answer appears.
+func subTestPaged(t *testing.T, opts ...nwcq.BuildOption) *nwcq.PagedIndex {
+	t.Helper()
+	pts := make([]nwcq.Point, 200)
+	for i := range pts {
+		pts[i] = nwcq.Point{X: float64((i * 37) % 300), Y: float64((i * 91) % 300), ID: uint64(i + 1)}
+	}
+	opts = append([]nwcq.BuildOption{nwcq.WithBulkLoad(), nwcq.WithSpace(0, 0, 1000, 1000)}, opts...)
+	px, err := nwcq.BuildPaged(pts, filepath.Join(t.TempDir(), "sub.nwcq"), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { px.Close() })
+	return px
+}
+
+// TestSubscribeSSEEndToEnd drives the full SSE path through the
+// production handler chain (instrument wraps every handler in a
+// StatusWriter, so this test also fails if that wrapper ever drops
+// http.Flusher): init frame, a mutation-triggered update with a real
+// WAL LSN, then the two Last-Event-ID reconnect behaviours.
+func TestSubscribeSSEEndToEnd(t *testing.T) {
+	px := subTestPaged(t)
+	ts := httptest.NewServer(New(px, px).Handler())
+	defer ts.Close()
+	subURL := ts.URL + "/subscribe?x=500&y=500&l=60&w=60&n=2"
+
+	resp, err := http.Get(subURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	init := parseFrame(t, mustReadEvent(t, br))
+	// The base cluster is ~300 away, so the init answer exists but is
+	// distant; the two inserts below form an n=2 group right at q.
+	if init.Kind != "init" || !init.Found || init.Group == nil || init.Group.Dist < 100 {
+		t.Fatalf("init frame %+v; want a distant base-cluster answer", init)
+	}
+
+	mustPost(t, ts.URL+"/insert", `{"x": 495, "y": 500, "id": 90001}`)
+	mustPost(t, ts.URL+"/insert", `{"x": 505, "y": 500, "id": 90002}`)
+	up1 := parseFrame(t, mustReadEvent(t, br))
+	up2 := parseFrame(t, mustReadEvent(t, br))
+	if up1.Kind != "update" || up2.Kind != "update" {
+		t.Fatalf("update kinds %q, %q", up1.Kind, up2.Kind)
+	}
+	if up1.LSN <= init.LSN || up2.LSN <= up1.LSN {
+		t.Fatalf("LSNs not monotone: init %d, updates %d, %d", init.LSN, up1.LSN, up2.LSN)
+	}
+	if up1.PublishedUnixNS == 0 || up2.PublishedUnixNS == 0 {
+		t.Fatal("update frames carry no publish stamp")
+	}
+	if !up2.Found || up2.Group == nil || up2.Group.Dist > 20 {
+		t.Fatalf("second update %+v; the inserted pair should be the ~5-away answer", up2)
+	}
+	resp.Body.Close()
+
+	// A stale resume position: the first frame must arrive flagged as a
+	// resync carrying the current state, not a replay of the gap.
+	req, _ := http.NewRequest("GET", subURL, nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(init.LSN))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	rs := parseFrame(t, mustReadEvent(t, bufio.NewReader(resp2.Body)))
+	if rs.Kind != "resync" || rs.LSN != up2.LSN || !rs.Found {
+		t.Fatalf("stale resume delivered %+v; want a resync at LSN %d", rs, up2.LSN)
+	}
+	resp2.Body.Close()
+
+	// A current resume position (via the query parameter, the curl
+	// path): the duplicate init is suppressed, so the first event is the
+	// next mutation's update.
+	resp3, err := http.Get(subURL + "&last_event_id=" + fmt.Sprint(up2.LSN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	br3 := bufio.NewReader(resp3.Body)
+	mustPost(t, ts.URL+"/insert", `{"x": 500, "y": 505, "id": 90003}`)
+	up3 := parseFrame(t, mustReadEvent(t, br3))
+	if up3.Kind != "update" || up3.LSN <= up2.LSN {
+		t.Fatalf("current resume delivered %+v; want only the fresh update above LSN %d", up3, up2.LSN)
+	}
+}
+
+// TestSubscribeShutdownDrain pins the graceful-shutdown contract:
+// Server.Close must promptly terminate open /subscribe and /wal/stream
+// responses, so http.Server.Shutdown is never held hostage by streaming
+// clients that would otherwise stay connected forever.
+func TestSubscribeShutdownDrain(t *testing.T) {
+	px := subTestPaged(t)
+	api := New(px, px)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: api.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	subResp, err := http.Get(base + "/subscribe?x=500&y=500&l=60&w=60&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subResp.Body.Close()
+	subBR := bufio.NewReader(subResp.Body)
+	mustReadEvent(t, subBR) // init delivered: the stream is live
+
+	walResp, err := http.Get(base + "/wal/stream?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walResp.Body.Close()
+	one := make([]byte, 1)
+	walLive := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(walResp.Body, one)
+		walLive <- err
+	}()
+	select {
+	case err := <-walLive:
+		if err != nil {
+			t.Fatalf("wal stream never started: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wal stream sent nothing (heartbeats should flow within 250ms)")
+	}
+
+	if err := api.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with drained streams: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown took %v; the streaming handlers did not drain promptly", d)
+	}
+	// Both bodies must now terminate cleanly instead of blocking.
+	drained := make(chan struct{}, 2)
+	go func() { io.Copy(io.Discard, subResp.Body); drained <- struct{}{} }()
+	go func() { io.Copy(io.Discard, walResp.Body); drained <- struct{}{} }()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-drained:
+		case <-time.After(5 * time.Second):
+			t.Fatal("a streaming response body did not terminate after shutdown")
+		}
+	}
+}
+
+// TestNWCAsOfEndpoint exercises the as_of_lsn parameter on /nwc and
+// /knwc against a retention-enabled index: reads at a retained LSN see
+// exactly that version, reads beyond the committed LSN answer 410 Gone,
+// and junk answers 400.
+func TestNWCAsOfEndpoint(t *testing.T) {
+	px := subTestPaged(t, nwcq.WithViewRetention(16))
+	ts := httptest.NewServer(New(px, px).Handler())
+	defer ts.Close()
+
+	mustPost(t, ts.URL+"/insert", `{"x": 495, "y": 500, "id": 90001}`)
+	lsn1 := px.ReplicationLSNs().Committed
+	mustPost(t, ts.URL+"/insert", `{"x": 505, "y": 500, "id": 90002}`)
+	lsn2 := px.ReplicationLSNs().Committed
+	if lsn2 <= lsn1 {
+		t.Fatalf("LSNs did not advance: %d then %d", lsn1, lsn2)
+	}
+
+	nwcURL := func(lsn uint64) string {
+		return fmt.Sprintf("%s/nwc?x=500&y=500&l=60&w=60&n=2&as_of_lsn=%d", ts.URL, lsn)
+	}
+	distAt := func(lsn uint64) float64 {
+		var res struct {
+			Found bool `json:"found"`
+			Group *struct {
+				Dist float64 `json:"dist"`
+			} `json:"group"`
+		}
+		if code := getJSON(t, nwcURL(lsn), &res); code != http.StatusOK || !res.Found || res.Group == nil {
+			t.Fatalf("as of %d: code %d, response %+v", lsn, code, res)
+		}
+		return res.Group.Dist
+	}
+	// As of lsn1 only one of the pair exists: the answer is still the
+	// distant base cluster. As of lsn2 the nearby pair wins.
+	if d1, d2 := distAt(lsn1), distAt(lsn2); d1 < 100 || d2 > 20 {
+		t.Fatalf("as-of answers d1=%g d2=%g; want the second insert visible only at lsn2", d1, d2)
+	}
+	var kres struct {
+		Found bool `json:"found"`
+	}
+	kURL := fmt.Sprintf("%s/knwc?x=500&y=500&l=60&w=60&n=2&k=2&m=1&as_of_lsn=%d", ts.URL, lsn2)
+	if code := getJSON(t, kURL, &kres); code != http.StatusOK || !kres.Found {
+		t.Fatalf("knwc as of %d: code %d found=%v", lsn2, code, kres.Found)
+	}
+
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, nwcURL(lsn2+50), &errBody); code != http.StatusGone {
+		t.Fatalf("read beyond the committed LSN answered %d, want 410", code)
+	}
+	if code := getJSON(t, ts.URL+"/nwc?x=500&y=500&l=60&w=60&n=2&as_of_lsn=junk", &errBody); code != http.StatusBadRequest {
+		t.Fatalf("unparseable as_of_lsn answered %d, want 400", code)
+	}
+}
+
+// TestAsOfOnShardedBackendNotImplemented: the router retains no unified
+// version axis, so temporal reads must answer 501, not garbage.
+func TestAsOfOnShardedBackendNotImplemented(t *testing.T) {
+	_, ts := shardedServer(t)
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	code := getJSON(t, ts.URL+"/nwc?x=500&y=500&l=100&w=100&n=3&as_of_lsn=1", &errBody)
+	if code != http.StatusNotImplemented {
+		t.Fatalf("sharded as-of read answered %d, want 501", code)
+	}
+}

@@ -288,6 +288,8 @@ func (s *Sharded) Metrics() nwcq.MetricsSnapshot {
 		}
 		out.ResultCache = rc
 	}
+	ss := s.SubscriptionStats()
+	out.Subscriptions = &ss
 	return out
 }
 
@@ -379,6 +381,23 @@ func (s *Sharded) WritePrometheus(w io.Writer) error {
 		}
 		pw.Header("nwcq_result_cache_entries", "gauge", "Entries currently cached (including in-flight computations).")
 		pw.Value("nwcq_result_cache_entries", nil, float64(st.Entries))
+	}
+	ss := s.SubscriptionStats()
+	pw.Header("nwcq_sub_active", "gauge", "Open standing-query subscriptions on the router.")
+	pw.Value("nwcq_sub_active", nil, float64(ss.Active))
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"nwcq_sub_published_total", "Shard publishes that reached a notifier while triggers were open.", ss.Published},
+		{"nwcq_sub_notified_total", "Trigger notifications enqueued by shard notifiers.", ss.Notified},
+		{"nwcq_sub_coalesced_total", "Trigger notifications dropped by queue overflow.", ss.Coalesced},
+		{"nwcq_sub_resync_total", "Router frames delivered flagged resync.", ss.Resyncs},
+		{"nwcq_sub_delivered_total", "Router standing-query frames delivered.", ss.Delivered},
+		{"nwcq_sub_eval_errors_total", "Router standing-query re-evaluations that failed.", ss.EvalErrors},
+	} {
+		pw.Header(c.name, "counter", c.help)
+		pw.Value(c.name, nil, float64(c.v))
 	}
 
 	// Summed storage families, same names as the single-index export so

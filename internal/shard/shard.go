@@ -96,6 +96,14 @@ type Sharded struct {
 	// off.
 	rcache *routerCache
 
+	// Standing-query state (subscribe.go): open router subscriptions,
+	// their ID source, and the router-level delivery counters.
+	subActive     atomic.Int64
+	subSeq        atomic.Uint64
+	subDelivered  atomic.Uint64
+	subEvalErrors atomic.Uint64
+	subResyncs    atomic.Uint64
+
 	created time.Time
 	obs     *routerMetrics
 }

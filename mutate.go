@@ -7,6 +7,7 @@ import (
 	"nwcq/internal/geom"
 	"nwcq/internal/grid"
 	"nwcq/internal/rstar"
+	"nwcq/internal/sub"
 )
 
 // Dynamic maintenance. The paper treats the dataset as static; this
@@ -121,7 +122,7 @@ func (ix *Index) insertLocked(gpts []geom.Point) (uint64, error) {
 		}
 		den = next
 	}
-	return ix.commitMutationLocked(b, ix.encodeFor(recInsert, gpts), den)
+	return ix.commitMutationLocked(b, ix.encodeFor(recInsert, gpts), den, recInsert, gpts, 0)
 }
 
 // Delete removes one point (matched by coordinates and ID) and reports
@@ -216,7 +217,7 @@ func (ix *Index) deleteLocked(gpts []geom.Point) ([]bool, uint64, error) {
 		}
 		den = next
 	}
-	lsn, err := ix.commitMutationLocked(b, ix.encodeFor(recDelete, removed), den)
+	lsn, err := ix.commitMutationLocked(b, ix.encodeFor(recDelete, removed), den, recDelete, removed, 0)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -234,12 +235,15 @@ func (ix *Index) encodeFor(op byte, pts []geom.Point) []byte {
 
 // commitMutationLocked runs the tail every mutation shares: log the
 // record (WAL mode — before any page of the commit is published),
-// commit the copy-on-write batch, publish the new view, and trigger a
-// checkpoint if the log has grown past its threshold. A commit or
-// publish failure after the append is neutralised with an abort record
-// so recovery does not replay a mutation the caller saw fail. Caller
-// holds ix.wmu.
-func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, payload []byte, den *grid.Density) (uint64, error) {
+// commit the copy-on-write batch, publish the new view, notify standing
+// queries, and trigger a checkpoint if the log has grown past its
+// threshold. A commit or publish failure after the append is
+// neutralised with an abort record so recovery does not replay a
+// mutation the caller saw fail. op and changed describe the mutation
+// for the subscription affect test; leaderLSN, nonzero only on a
+// replication follower, stamps notifications with the leader's LSN so
+// both replicas expose the same version axis. Caller holds ix.wmu.
+func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, payload []byte, den *grid.Density, op byte, changed []geom.Point, leaderLSN uint64) (uint64, error) {
 	var lsn uint64
 	if ix.dur != nil {
 		var err error
@@ -265,18 +269,49 @@ func (ix *Index) commitMutationLocked(b *rstar.WriteBatch, payload []byte, den *
 		// Published: the record's fate is decided and the replication
 		// stream may ship it (the abort paths above settle via abort()).
 		ix.dur.settled.Store(lsn)
+	}
+	// Standing-query hook. The Active gate keeps the zero-subscriber
+	// cost at one atomic load: nothing below it (closure, timestamps,
+	// registry lock) is touched before it passes.
+	if ix.subs.Active() > 0 {
+		nv := ix.cur.Load()
+		frameLSN := lsn
+		if leaderLSN != 0 {
+			frameLSN = leaderLSN
+		}
+		ix.subs.Publish(frameLSN, nv.gen, subOpFor(op), changed, func() (any, func()) {
+			// Under wmu the just-published view cannot be tombstoned, so
+			// a plain increment pins it.
+			nv.refs.Add(1)
+			return nv, func() { nv.refs.Add(-1) }
+		})
+	}
+	if ix.dur != nil {
 		ix.dur.maybeCheckpointLocked(ix.cur.Load().tree)
 	}
 	return lsn, nil
+}
+
+// subOpFor maps a WAL record op onto the affect-test classification.
+func subOpFor(op byte) sub.Op {
+	switch op {
+	case recInsert:
+		return sub.OpInsert
+	case recDelete:
+		return sub.OpDelete
+	default:
+		return sub.OpReset
+	}
 }
 
 // applyReplicatedLocked mirrors insertLocked/deleteLocked for a record
 // replicated from a leader. Deletes tolerate absent points (exactly as
 // WAL replay does) and always commit even when nothing matched: the
 // follower's replica position must advance past the record either way.
-// payload is the recApply-wrapped record for this follower's own log.
-// Caller holds ix.wmu.
-func (ix *Index) applyReplicatedLocked(op byte, gpts []geom.Point, payload []byte) (uint64, error) {
+// payload is the recApply-wrapped record for this follower's own log;
+// leaderLSN stamps standing-query notifications so follower subscribers
+// see the leader's version axis. Caller holds ix.wmu.
+func (ix *Index) applyReplicatedLocked(op byte, gpts []geom.Point, payload []byte, leaderLSN uint64) (uint64, error) {
 	old := ix.cur.Load()
 	b, err := old.tree.BeginWrite()
 	if err != nil {
@@ -329,7 +364,9 @@ func (ix *Index) applyReplicatedLocked(op byte, gpts []geom.Point, payload []byt
 			den = next
 		}
 	}
-	return ix.commitMutationLocked(b, payload, den)
+	// gpts (not the matched subset) feeds the affect test for deletes:
+	// a superset of the changed points is always conservative.
+	return ix.commitMutationLocked(b, payload, den, op, gpts, leaderLSN)
 }
 
 // resetLocked discards every indexed point as one logged mutation — the
@@ -357,7 +394,7 @@ func (ix *Index) resetLocked() (uint64, error) {
 		b.Discard()
 		return 0, err
 	}
-	return ix.commitMutationLocked(b, []byte{recReset}, den)
+	return ix.commitMutationLocked(b, []byte{recReset}, den, recReset, nil, 0)
 }
 
 // waitDurable blocks until the mutation at lsn is durable under the

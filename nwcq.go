@@ -55,6 +55,7 @@ import (
 	"nwcq/internal/iwp"
 	"nwcq/internal/pager"
 	"nwcq/internal/rstar"
+	"nwcq/internal/sub"
 	"nwcq/internal/trace"
 )
 
@@ -306,6 +307,11 @@ type Index struct {
 	// See cache.go.
 	vgen  atomic.Uint64
 	cache *resultCache
+
+	// subs is the standing-query registry the publish path notifies
+	// (subscribe.go, internal/sub). Always non-nil; with no subscribers
+	// the publish hook costs one atomic load.
+	subs *sub.Registry
 }
 
 type buildOptions struct {
@@ -327,6 +333,11 @@ type buildOptions struct {
 	// positive (entries per query kind). See cache.go.
 	parallelism int
 	resultCache int
+	// subQueue bounds each subscriber's pending-notification queue
+	// (default sub.DefaultQueueCap); viewRetention keeps that many
+	// superseded views alive for as-of reads. See subscribe.go.
+	subQueue      int
+	viewRetention int
 	// Write-ahead-log knobs; paged indexes only (see durable.go).
 	walDisabled        bool
 	walSync            SyncPolicy
@@ -423,6 +434,29 @@ func WithWALCheckpointBytes(n int64) BuildOption {
 	return func(o *buildOptions) { o.walCheckpointBytes = n }
 }
 
+// WithSubscriptionQueue bounds each subscriber's pending-notification
+// queue (default 64). A subscriber that falls further behind has its
+// oldest pending frames coalesced away and receives a resync frame;
+// the bound also caps how many superseded index views one slow
+// subscriber can keep pinned.
+func WithSubscriptionQueue(n int) BuildOption {
+	return func(o *buildOptions) { o.subQueue = n }
+}
+
+// WithViewRetention keeps the last n superseded views alive after
+// publication instead of reclaiming them as soon as readers drain,
+// enabling temporal reads (NWCAsOf / KNWCAsOf, the server's as_of_lsn
+// parameter) over that window. Default 0: only the current view is
+// answerable.
+func WithViewRetention(n int) BuildOption {
+	return func(o *buildOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.viewRetention = n
+	}
+}
+
 // WithSpace fixes the object space rectangle for the density grid.
 // By default the space is the bounding box of the points, slightly
 // padded.
@@ -512,6 +546,7 @@ func Build(points []Point, opts ...BuildOption) (*Index, error) {
 		options: o,
 		obs:     newQueryMetrics(), slow: newSlowLog(o.slowThreshold), created: time.Now(),
 		cache: newResultCache(o.resultCache),
+		subs:  sub.NewRegistry(o.subQueue),
 	}
 	v.gen = ix.vgen.Add(1)
 	ix.cur.Store(v)
@@ -564,13 +599,20 @@ func (ix *Index) nwc(ctx context.Context, q Query, rec *trace.Recorder) (Result,
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
+	v := ix.acquire()
+	defer v.release()
+	return ix.nwcOnView(ctx, v, q, rec)
+}
+
+// nwcOnView answers q against one pinned view — the execution core
+// shared by live queries, subscription re-evaluations and temporal
+// as-of reads. The caller owns the pin and has validated q.
+func (ix *Index) nwcOnView(ctx context.Context, v *view, q Query, rec *trace.Recorder) (Result, error) {
 	measure, err := q.Measure.internal()
 	if err != nil {
 		return Result{}, err
 	}
 	scheme := q.Scheme.internal()
-	v := ix.acquire()
-	defer v.release()
 	eng, err := ix.engineFor(v, scheme)
 	if err != nil {
 		return Result{}, err
@@ -609,13 +651,18 @@ func (ix *Index) knwc(ctx context.Context, q KQuery, rec *trace.Recorder) (KResu
 	if err := q.Validate(); err != nil {
 		return KResult{}, err
 	}
+	v := ix.acquire()
+	defer v.release()
+	return ix.knwcOnView(ctx, v, q, rec)
+}
+
+// knwcOnView is the kNWC form of nwcOnView.
+func (ix *Index) knwcOnView(ctx context.Context, v *view, q KQuery, rec *trace.Recorder) (KResult, error) {
 	measure, err := q.Measure.internal()
 	if err != nil {
 		return KResult{}, err
 	}
 	scheme := q.Scheme.internal()
-	v := ix.acquire()
-	defer v.release()
 	eng, err := ix.engineFor(v, scheme)
 	if err != nil {
 		return KResult{}, err

@@ -181,6 +181,9 @@ type MetricsSnapshot struct {
 	// ResultCache reports the query result cache; nil when no cache is
 	// configured (WithResultCache / shard.Options.ResultCache).
 	ResultCache *ResultCacheMetrics `json:"result_cache,omitempty"`
+	// Subscriptions reports the standing-query subsystem (subscribe.go).
+	// A sharded backend sums its shards' notifier counters.
+	Subscriptions *SubscriptionStats `json:"subscriptions,omitempty"`
 }
 
 // ResultCacheMetrics reports the single-flight query result cache:
@@ -311,6 +314,8 @@ func (ix *Index) Metrics() MetricsSnapshot {
 		}
 	}
 	out.ResultCache = ix.cache.metrics()
+	ss := ix.SubscriptionStats()
+	out.Subscriptions = &ss
 	return out
 }
 
@@ -405,7 +410,29 @@ func (ix *Index) WritePrometheus(w io.Writer) error {
 		pw.Value("nwcq_replica_lsn", nil, float64(d.replica.Load()))
 	}
 	writeResultCacheProm(pw, ix.cache.metrics())
+	writeSubscriptionProm(pw, ix.SubscriptionStats())
 	return pw.Err
+}
+
+// writeSubscriptionProm renders the standing-query families; the shard
+// router's aggregated exposition shares it.
+func writeSubscriptionProm(pw *promWriter, ss SubscriptionStats) {
+	pw.Header("nwcq_sub_active", "gauge", "Open standing-query subscriptions.")
+	pw.Value("nwcq_sub_active", nil, float64(ss.Active))
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"nwcq_sub_published_total", "Publishes that reached the notifier while subscriptions were open.", ss.Published},
+		{"nwcq_sub_notified_total", "Notifications enqueued to subscribers (publishes passing the affect test).", ss.Notified},
+		{"nwcq_sub_coalesced_total", "Notifications dropped by slow-subscriber queue overflow.", ss.Coalesced},
+		{"nwcq_sub_resync_total", "Frames delivered flagged resync after an overflow.", ss.Resyncs},
+		{"nwcq_sub_delivered_total", "Standing-query re-evaluations delivered.", ss.Delivered},
+		{"nwcq_sub_eval_errors_total", "Standing-query re-evaluations that failed.", ss.EvalErrors},
+	} {
+		pw.Header(c.name, "counter", c.help)
+		pw.Value(c.name, nil, float64(c.v))
+	}
 }
 
 // writeResultCacheProm renders the result-cache families; both the

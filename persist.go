@@ -11,6 +11,7 @@ import (
 	"nwcq/internal/iwp"
 	"nwcq/internal/pager"
 	"nwcq/internal/rstar"
+	"nwcq/internal/sub"
 	"nwcq/internal/wal"
 )
 
@@ -337,7 +338,8 @@ func finishPaged(tree *rstar.Tree, gpts []geom.Point, o buildOptions, pages *pag
 			options: o,
 			obs:     newQueryMetrics(), pageStats: pages.Stats,
 			slow: newSlowLog(o.slowThreshold), created: time.Now(),
-			dur: dur,
+			dur:  dur,
+			subs: sub.NewRegistry(o.subQueue),
 		},
 		pages: pages,
 		file:  f,

@@ -265,7 +265,7 @@ func (p *PagedIndex) ApplyReplicated(leaderLSN uint64, data []byte) error {
 		p.wmu.Unlock()
 		return nil
 	}
-	_, err = p.applyReplicatedLocked(op, gpts, encodeApply(leaderLSN, data))
+	_, err = p.applyReplicatedLocked(op, gpts, encodeApply(leaderLSN, data), leaderLSN)
 	if err == nil && leaderLSN != 0 {
 		p.dur.replica.Store(leaderLSN)
 	}
@@ -288,7 +288,7 @@ func (p *PagedIndex) ApplySnapshotChunk(pts []Point, leaderLSN uint64) error {
 	}
 	data := encodeMutation(recInsert, gpts)
 	p.wmu.Lock()
-	lsn, err := p.applyReplicatedLocked(recInsert, gpts, encodeApply(leaderLSN, data))
+	lsn, err := p.applyReplicatedLocked(recInsert, gpts, encodeApply(leaderLSN, data), leaderLSN)
 	if err == nil && leaderLSN != 0 {
 		p.dur.replica.Store(leaderLSN)
 	}

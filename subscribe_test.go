@@ -1,0 +1,503 @@
+package nwcq
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Standing-query correctness suite. The delivery contract under test
+// (subscribe.go): every frame is the full answer at one published
+// version, stamped with that version's generation (and LSN when a WAL
+// exists); frames arrive in publish order with monotone stamps; any
+// version whose answer differs from its predecessor's produces a frame
+// (the affect test is conservative); a slow consumer loses only
+// intermediate states, flagged by one resync frame. Run with -race —
+// the churn test exists for it.
+
+// drainFrames pops every already-queued frame. All publishes in these
+// tests happen-before the drain, so a Next that blocks means the queue
+// is empty and the short timeout only runs once, at the end.
+func drainFrames(t *testing.T, s Subscription) []SubUpdate {
+	t.Helper()
+	var out []SubUpdate
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		u, err := s.Next(ctx, nil)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, u)
+	}
+}
+
+// assertMonotoneGens checks the ordering half of the contract: strictly
+// increasing generations, frame by frame.
+func assertMonotoneGens(t *testing.T, frames []SubUpdate) {
+	t.Helper()
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Gen <= frames[i-1].Gen {
+			t.Fatalf("frame %d gen %d not above predecessor's %d", i, frames[i].Gen, frames[i-1].Gen)
+		}
+	}
+}
+
+// TestSubscriptionFramesMatchOracle is the lifecycle acceptance test:
+// apply a recorded mutation script to a subscribed index, then check
+// every delivered frame against the brute-force oracle at the exact
+// version its generation stamp names — and, conversely, that every
+// version where the answer actually changed produced a frame (the
+// affect test never filters a real change away).
+func TestSubscriptionFramesMatchOracle(t *testing.T) {
+	base, ops, versions := buildMutationScript(40, 30, 71)
+	idx, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := newMutOracle(versions)
+	q := Query{X: 120, Y: 140, Length: 120, Width: 120, N: 2}
+
+	s, err := idx.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for k, op := range ops {
+		if op.insert {
+			if err := idx.Insert(op.p); err != nil {
+				t.Fatalf("op %d: insert: %v", k, err)
+			}
+		} else {
+			found, err := idx.Delete(op.p)
+			if err != nil || !found {
+				t.Fatalf("op %d: delete: found=%v err=%v", k, found, err)
+			}
+		}
+	}
+
+	frames := drainFrames(t, s)
+	if len(frames) == 0 || frames[0].Kind != SubInit {
+		t.Fatalf("first frame is %+v, want an init frame", frames)
+	}
+	assertMonotoneGens(t, frames)
+	initGen := frames[0].Gen
+	if !nwcAgrees(frames[0].Result, oracle.NWC(0, 0, q)) {
+		t.Fatalf("init frame disagrees with the oracle at version 0")
+	}
+
+	delivered := map[int]bool{}
+	for i, u := range frames[1:] {
+		if u.Kind != SubUpdateKind {
+			t.Fatalf("frame %d kind %q; nothing coalesced, so only updates are expected", i+1, u.Kind)
+		}
+		if u.PublishedAt.IsZero() {
+			t.Fatalf("frame %d carries no publish instant", i+1)
+		}
+		v := int(u.Gen - initGen)
+		if v < 1 || v > len(ops) {
+			t.Fatalf("frame %d gen %d names version %d outside the script", i+1, u.Gen, v)
+		}
+		if !nwcAgrees(u.Result, oracle.NWC(0, v, q)) {
+			t.Fatalf("frame %d (version %d): found=%v dist=%g disagrees with the oracle",
+				i+1, v, u.Result.Found, u.Result.Dist)
+		}
+		delivered[v] = true
+	}
+
+	// Completeness: a version whose answer differs from its predecessor's
+	// must have produced a frame. (The converse — frames for unchanged
+	// answers — is allowed: the affect test is conservative.)
+	for v := 1; v <= len(ops); v++ {
+		prev, cur := oracle.NWC(0, v-1, q), oracle.NWC(0, v, q)
+		changed := prev.Found != cur.Found ||
+			(cur.Found && math.Abs(prev.Group.Dist-cur.Group.Dist) > 1e-9)
+		if changed && !delivered[v] {
+			t.Fatalf("answer changed at version %d but no frame was delivered", v)
+		}
+	}
+	if len(delivered) == 0 {
+		t.Fatal("script produced no update frames; the test is vacuous")
+	}
+
+	st := idx.SubscriptionStats()
+	if st.Active != 1 || st.Coalesced != 0 || st.EvalErrors != 0 {
+		t.Fatalf("stats %+v: want 1 active, nothing coalesced, no eval errors", st)
+	}
+}
+
+// TestSubscriptionOverflowResync pins the backpressure contract with a
+// 2-deep queue: a consumer that ignores 8 affecting mutations keeps
+// only the 2 newest states, the first delivery after the overflow is
+// flagged resync, and the final frame is the current answer.
+func TestSubscriptionOverflowResync(t *testing.T) {
+	idx, err := Build(testPoints(50, 7), WithSubscriptionQueue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 500, Y: 500, Length: 100, Width: 100, N: 3}
+	s, err := idx.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const inserts = 8
+	for i := 0; i < inserts; i++ {
+		p := Point{X: 490 + float64(i)*2, Y: 500, ID: uint64(9000 + i)}
+		if err := idx.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	frames := drainFrames(t, s)
+	assertMonotoneGens(t, frames)
+	if len(frames) != 3 { // init + the 2 retained states
+		t.Fatalf("got %d frames, want 3 (init plus a 2-deep queue)", len(frames))
+	}
+	if frames[0].Kind != SubInit {
+		t.Fatalf("first frame kind %q, want init", frames[0].Kind)
+	}
+	if frames[1].Kind != SubResync {
+		t.Fatalf("first post-overflow frame kind %q, want resync", frames[1].Kind)
+	}
+	last := frames[len(frames)-1]
+	if got := last.Gen - frames[0].Gen; got != inserts {
+		t.Fatalf("final frame is version %d after init, want %d (the newest state survives coalescing)", got, inserts)
+	}
+	cur, err := idx.NWC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Result.Found != cur.Found || math.Abs(last.Result.Dist-cur.Dist) > 1e-9 {
+		t.Fatalf("final frame (found=%v dist=%g) is not the current answer (found=%v dist=%g)",
+			last.Result.Found, last.Result.Dist, cur.Found, cur.Dist)
+	}
+
+	st := idx.SubscriptionStats()
+	if want := uint64(inserts - 2); st.Coalesced != want {
+		t.Fatalf("coalesced %d notifications, want %d", st.Coalesced, want)
+	}
+	if st.Resyncs != 1 {
+		t.Fatalf("resync deliveries %d, want 1 (one flag per overflow run)", st.Resyncs)
+	}
+}
+
+// TestSubscriptionChurnUnderMutation runs subscribe/consume/unsubscribe
+// churn against a continuous mutator — the -race workload for the
+// registry's lifecycle edges (Subscribe vs Publish vs Close). Every
+// frame any subscriber sees must still be monotone, and the registry
+// must drain back to zero subscriptions.
+func TestSubscriptionChurnUnderMutation(t *testing.T) {
+	idx, err := Build(testPoints(300, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 500, Y: 500, Length: 150, Width: 150, N: 3}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			p := Point{X: 450 + float64(i%20)*5, Y: 500, ID: uint64(1 << 40)}
+			if err := idx.Insert(p); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if _, err := idx.Delete(p); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s, err := idx.Subscribe(q)
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				var lastGen uint64
+				for i := 0; i < 4; i++ {
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+					u, err := s.Next(ctx, nil)
+					cancel()
+					if err != nil {
+						if errors.Is(err, context.DeadlineExceeded) {
+							break
+						}
+						t.Errorf("next: %v", err)
+						return
+					}
+					if u.Gen <= lastGen {
+						t.Errorf("gen %d not above %d", u.Gen, lastGen)
+						return
+					}
+					lastGen = u.Gen
+				}
+				s.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+
+	if st := idx.SubscriptionStats(); st.Active != 0 {
+		t.Fatalf("%d subscriptions still active after churn", st.Active)
+	}
+	// Close must unblock a pending Next, not leave it hanging.
+	s, err := idx.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainFrames(t, s) // consume the init frame so Next truly blocks
+	unblocked := make(chan error, 1)
+	go func() {
+		_, err := s.Next(context.Background(), nil)
+		unblocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-unblocked:
+		if !errors.Is(err, ErrSubscriptionClosed) {
+			t.Fatalf("Next after Close returned %v, want ErrSubscriptionClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close left a pending Next blocked")
+	}
+}
+
+// TestSubscriptionFollowerDelivery is the replication acceptance check:
+// a subscriber on a follower fed through ApplyReplicated must see the
+// same LSN-ordered frame sequence — same stamps, same answers — as a
+// subscriber on the leader, because follower notifications are stamped
+// with the leader's LSN rather than any local counter.
+func TestSubscriptionFollowerDelivery(t *testing.T) {
+	base := testPoints(60, 17)
+	o := buildOptions{maxEntries: 8, gridCellSize: 25, walSegmentBytes: 1 << 10}
+	leader := newMemPaged().build(t, base, o)
+	defer leader.Close()
+	follower := newMemPaged().build(t, nil, o)
+	defer follower.Close()
+
+	// Bulk-built base never went through the leader's WAL, so the first
+	// catch-up snapshots; subscriptions attach on the converged pair.
+	syncFollower(t, leader, follower)
+	assertConverged(t, leader, follower)
+
+	q := Query{X: 500, Y: 500, Length: 120, Width: 120, N: 3}
+	ls, err := leader.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	fs, err := follower.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// A deterministic tail: inserts marching through the query window,
+	// with every third point deleted again, so the answer both improves
+	// and degrades along the way.
+	var livePts []Point
+	for i := 0; i < 20; i++ {
+		p := Point{X: 440 + float64(i)*6, Y: 480 + float64(i%5)*10, ID: uint64(5000 + i)}
+		if err := leader.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		livePts = append(livePts, p)
+		if i%3 == 2 {
+			victim := livePts[0]
+			livePts = livePts[1:]
+			if found, err := leader.Delete(victim); err != nil || !found {
+				t.Fatalf("delete: found=%v err=%v", found, err)
+			}
+		}
+	}
+	syncFollower(t, leader, follower)
+	assertConverged(t, leader, follower)
+
+	lf, ff := drainFrames(t, ls), drainFrames(t, fs)
+	if len(lf) != len(ff) {
+		t.Fatalf("leader delivered %d frames, follower %d", len(lf), len(ff))
+	}
+	if len(lf) < 2 {
+		t.Fatalf("only %d frames delivered; the tail should have produced updates", len(lf))
+	}
+	for i := range lf {
+		l, f := lf[i], ff[i]
+		if l.Kind != f.Kind {
+			t.Fatalf("frame %d: leader kind %q, follower %q", i, l.Kind, f.Kind)
+		}
+		if i > 0 && (l.LSN != f.LSN) {
+			t.Fatalf("frame %d: leader LSN %d, follower LSN %d — the replicas diverge on the version axis", i, l.LSN, f.LSN)
+		}
+		if i > 0 && l.LSN <= lf[i-1].LSN {
+			t.Fatalf("frame %d LSN %d not above predecessor's %d", i, l.LSN, lf[i-1].LSN)
+		}
+		if l.Result.Found != f.Result.Found || math.Abs(l.Result.Dist-f.Result.Dist) > 1e-9 {
+			t.Fatalf("frame %d answers diverge: leader found=%v dist=%g, follower found=%v dist=%g",
+				i, l.Result.Found, l.Result.Dist, f.Result.Found, f.Result.Dist)
+		}
+	}
+}
+
+// TestTemporalReadsMatchSubscriptionFrames ties the as-of read path to
+// the subscription version axis: with retention on, NWCAsOf at a
+// frame's LSN must reproduce that frame's answer, and LSNs outside the
+// retained window must fail with ErrLSNNotRetained.
+func TestTemporalReadsMatchSubscriptionFrames(t *testing.T) {
+	o := buildOptions{maxEntries: 8, gridCellSize: 25, walSegmentBytes: 1 << 10, viewRetention: 64}
+	px := newMemPaged().build(t, testPoints(50, 23), o)
+	defer px.Close()
+
+	q := Query{X: 500, Y: 500, Length: 100, Width: 100, N: 3}
+	s, err := px.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 15; i++ {
+		p := Point{X: 470 + float64(i)*4, Y: 500, ID: uint64(7000 + i)}
+		if err := px.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	frames := drainFrames(t, s)
+	updates := 0
+	for _, u := range frames[1:] {
+		res, err := px.NWCAsOf(ctx, q, u.LSN)
+		if err != nil {
+			t.Fatalf("NWCAsOf(%d): %v", u.LSN, err)
+		}
+		if res.Found != u.Result.Found || math.Abs(res.Dist-u.Result.Dist) > 1e-9 {
+			t.Fatalf("as-of read at LSN %d (found=%v dist=%g) disagrees with the frame (found=%v dist=%g)",
+				u.LSN, res.Found, res.Dist, u.Result.Found, u.Result.Dist)
+		}
+		if _, err := px.KNWCAsOf(ctx, KQuery{Query: q, K: 2, M: 1}, u.LSN); err != nil {
+			t.Fatalf("KNWCAsOf(%d): %v", u.LSN, err)
+		}
+		updates++
+	}
+	if updates == 0 {
+		t.Fatal("no update frames; the temporal cross-check is vacuous")
+	}
+
+	oldest, newest := px.RetainedLSNs()
+	if oldest > newest {
+		t.Fatalf("retained window [%d, %d] is inverted", oldest, newest)
+	}
+	if _, err := px.NWCAsOf(ctx, q, newest+5); !errors.Is(err, ErrLSNNotRetained) {
+		t.Fatalf("read beyond the committed LSN returned %v, want ErrLSNNotRetained", err)
+	}
+	if oldest > 1 {
+		if _, err := px.NWCAsOf(ctx, q, oldest-1); !errors.Is(err, ErrLSNNotRetained) {
+			t.Fatalf("read below the retained window returned %v, want ErrLSNNotRetained", err)
+		}
+	}
+}
+
+// TestZeroSubscriberPublishBypassesRegistry pins the fast path the
+// acceptance criteria demand: with no subscriptions the publish hook is
+// one atomic load — it must not reach the registry, so none of the
+// registry-side counters may move.
+func TestZeroSubscriberPublishBypassesRegistry(t *testing.T) {
+	idx, err := Build(testPoints(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func() {
+		for i := 0; i < 5; i++ {
+			p := Point{X: 500, Y: 500, ID: uint64(1<<40 + i)}
+			if err := idx.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := idx.Delete(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mutate()
+	if st := idx.SubscriptionStats(); st != (SubscriptionStats{}) {
+		t.Fatalf("registry counters moved with zero subscribers: %+v", st)
+	}
+	// After the last subscription closes, the gate must re-engage.
+	s, err := idx.Subscribe(Query{X: 500, Y: 500, Length: 100, Width: 100, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	before := idx.SubscriptionStats()
+	mutate()
+	after := idx.SubscriptionStats()
+	if after.Published != before.Published || after.Notified != before.Notified {
+		t.Fatalf("registry engaged after the last unsubscribe: %+v -> %+v", before, after)
+	}
+}
+
+// BenchmarkMutatePublish measures the insert+delete pair cost across
+// the notifier's three regimes. subs=0 is the no-regression pin against
+// BENCH_baseline.json's BenchmarkNWCUnderMutation rows: the gate is one
+// atomic load, so the pair cost must match the pre-subscription
+// mutation numbers. unaffected pays the affect test (a box miss per
+// subscriber); affected additionally pins a view and pushes a frame per
+// mutation onto an undrained queue (steady-state coalescing).
+func BenchmarkMutatePublish(b *testing.B) {
+	regimes := []struct {
+		name string
+		qx   float64 // standing-query center; mutations land at (100, 100)
+		subs int
+	}{
+		{"subs=0", 0, 0},
+		{"subs=1/unaffected", 900, 1},
+		{"subs=1/affected", 100, 1},
+	}
+	for _, rg := range regimes {
+		b.Run(rg.name, func(b *testing.B) {
+			idx, err := Build(testPoints(10000, 5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < rg.subs; i++ {
+				s, err := idx.Subscribe(Query{X: rg.qx, Y: rg.qx, Length: 50, Width: 50, N: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+			}
+			p := Point{X: 100, Y: 100, ID: 1 << 40}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Insert(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := idx.Delete(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

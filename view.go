@@ -193,10 +193,12 @@ func (ix *Index) publishLocked(tree *rstar.Tree, den *grid.Density, retired []rs
 // refs CAS 0 → -1 succeeds (tombstone — no later acquire can resurrect
 // it), every version that could reach its retired IDs has drained and
 // they return to the allocator. A pinned head stops the drain; the next
-// publish retries. Callers hold ix.wmu.
+// publish retries. With WithViewRetention the newest n retired views
+// are deliberately kept (never tombstoned) so temporal as-of reads can
+// still pin them. Callers hold ix.wmu.
 func (ix *Index) drainRetiredLocked() {
 	cur := ix.cur.Load()
-	for len(ix.retireq) > 0 {
+	for len(ix.retireq) > ix.options.viewRetention {
 		h := ix.retireq[0]
 		if !h.refs.CompareAndSwap(0, -1) {
 			return
